@@ -1,0 +1,16 @@
+"""Figure 6: computational-fault propagation (single row, contained)."""
+
+from repro.harness.experiments import fig06_computational_propagation
+
+
+def test_bench_fig06(benchmark, ctx, emit):
+    result = benchmark.pedantic(
+        fig06_computational_propagation, args=(ctx,), rounds=1, iterations=1
+    )
+    emit(result)
+    injected = result.rows[0]
+    next_layer = result.rows[1]
+    assert injected["corrupted_rows"] == 1
+    assert next_layer["corrupted_rows"] == 1  # still one token
+    # Containment: far below the memory fault's near-total corruption.
+    assert next_layer["corrupted_fraction"] < 0.5

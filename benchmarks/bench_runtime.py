@@ -1,0 +1,67 @@
+"""Runtime microbenchmarks of the inference substrate itself.
+
+These use pytest-benchmark's statistical timing (multiple rounds) to
+track the engine's raw speed: prefill throughput, incremental decode
+latency, option scoring, and fault-injection overhead.  They guard
+against performance regressions in the substrate that the campaign
+experiments run on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fi import FaultModel, FaultSite, MemoryFaultInjector
+from repro.generation import GenerationConfig, generate_ids
+from repro.inference import InferenceEngine
+from repro.zoo import default_tokenizer, load_model
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return InferenceEngine(load_model("qwenlike-base", verbose=False))
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return default_tokenizer()
+
+
+def test_bench_prefill(benchmark, engine, tokenizer):
+    prompt = tokenizer.encode(
+        "context : alice lives in paris . bob works as a baker . question :"
+        " where does alice live ? answer :"
+    )
+    logits = benchmark(engine.forward_full, prompt)
+    assert logits.shape[0] == len(prompt)
+
+
+def test_bench_decode_16_tokens(benchmark, engine, tokenizer):
+    prompt = tokenizer.encode("translate : de kato visas un hundo =")
+    config = GenerationConfig(max_new_tokens=16, eos_id=tokenizer.vocab.eos_id)
+
+    out = benchmark(generate_ids, engine, prompt, config)
+    assert isinstance(out, list)
+
+
+def test_bench_beam4_decode(benchmark, engine, tokenizer):
+    prompt = tokenizer.encode("translate : de kato visas un hundo =")
+    config = GenerationConfig(
+        max_new_tokens=12, num_beams=4, eos_id=tokenizer.vocab.eos_id
+    )
+    out = benchmark(generate_ids, engine, prompt, config)
+    assert isinstance(out, list)
+
+
+def test_bench_memory_injection_overhead(benchmark, engine):
+    """Flip + restore must be microseconds — campaigns do it per trial."""
+    site = FaultSite(
+        FaultModel.MEM_2BIT, "blocks.0.up_proj", 3, 5, bits=(30, 2)
+    )
+
+    def flip_restore():
+        with MemoryFaultInjector(engine, site):
+            pass
+
+    benchmark(flip_restore)
+    # The engine is pristine afterwards.
+    assert np.isfinite(engine.weight_store("blocks.0.up_proj").array).all()

@@ -1,0 +1,11 @@
+"""Table 1: the workload roster (tasks x datasets x metrics x models)."""
+
+from repro.harness.experiments import table1_workloads
+
+
+def test_bench_table1(benchmark, ctx, emit):
+    result = benchmark.pedantic(table1_workloads, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    assert len(result.rows) == 9
+    kinds = {row["kind"] for row in result.rows}
+    assert kinds == {"multiple_choice", "generative"}

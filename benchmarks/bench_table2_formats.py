@@ -1,0 +1,11 @@
+"""Table 2: floating-point format layouts and ranges."""
+
+from repro.harness.experiments import table2_formats
+
+
+def test_bench_table2(benchmark, ctx, emit):
+    result = benchmark.pedantic(table2_formats, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    by_name = {row["format"]: row for row in result.rows}
+    assert by_name["FP16"]["max_finite"] == 65504.0
+    assert by_name["BF16"]["exp_bits"] == by_name["FP32"]["exp_bits"] == 8

@@ -1,0 +1,57 @@
+"""Beam-search resilience study (paper Figs 18/19, Observation #9).
+
+Compares greedy decoding against beam search under 2-bit computational
+faults on the fine-tuned translation model, then sweeps the beam count
+to expose the resilience/runtime trade-off (the paper finds the sweet
+spot at 2 beams).
+
+Run:  python examples/beam_resilience.py
+"""
+
+import time
+
+from repro import FaultModel, FICampaign, GenerationConfig, InferenceEngine
+from repro.tasks import TranslationTask, standardized_subset
+from repro.zoo import default_tokenizer, default_world, load_model
+
+N_TRIALS = 30
+
+
+def main() -> None:
+    world = default_world()
+    tokenizer = default_tokenizer(world)
+    engine = InferenceEngine(load_model("alma-base"))
+    task = TranslationTask(world)
+    examples = standardized_subset(task, 8)
+
+    print("=== beam sweep under 2bits-comp (alma-base, wmt16) ===")
+    print(f"{'beams':>5s} {'normalized BLEU':>16s} {'ms/trial':>9s}")
+    for num_beams in (1, 2, 4, 6):
+        campaign = FICampaign(
+            engine=engine,
+            tokenizer=tokenizer,
+            task_name=task.name,
+            metrics=task.metrics,
+            examples=examples,
+            fault_model=FaultModel.COMP_2BIT,
+            seed=53,
+            generation=GenerationConfig(
+                max_new_tokens=task.max_new_tokens,
+                num_beams=num_beams,
+                eos_id=tokenizer.vocab.eos_id,
+            ),
+        )
+        t0 = time.perf_counter()
+        result = campaign.run(N_TRIALS)
+        per_trial = 1000 * (time.perf_counter() - t0) / N_TRIALS
+        label = "greedy" if num_beams == 1 else f"beam-{num_beams}"
+        print(
+            f"{num_beams:5d} {result.normalized['bleu'].ratio:16.3f}"
+            f" {per_trial:9.1f}   ({label})"
+        )
+    print("\nexpected shape: resilience jumps from 1 -> 2 beams then"
+          " flattens while runtime keeps rising — use num_beams=2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: train-or-load a model, run inference, inject one fault.
+
+Walks the core API end to end:
+
+1. load a small zoo model (built from scratch and cached on first use),
+2. run fault-free inference on a translation example,
+3. flip two bits of one stored weight (the paper's 2bits-mem fault),
+4. rerun and compare, then verify the weight was restored exactly.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FaultModel, GenerationConfig, InferenceEngine, sample_site
+from repro.fi import MemoryFaultInjector
+from repro.generation import generate_ids
+from repro.tasks import TranslationTask, standardized_subset
+from repro.zoo import default_tokenizer, default_world, load_model
+
+
+def main() -> None:
+    print("loading model (first run trains it; later runs hit the cache)...")
+    store = load_model("qwenlike-tiny")
+    engine = InferenceEngine(store, weight_policy="fp32")
+    world = default_world()
+    tokenizer = default_tokenizer(world)
+
+    example = standardized_subset(TranslationTask(world), 1)[0]
+    config = GenerationConfig(max_new_tokens=16, eos_id=tokenizer.vocab.eos_id)
+    prompt = tokenizer.encode(example.prompt)
+
+    baseline = tokenizer.decode(generate_ids(engine, prompt, config))
+    print(f"\nprompt    : {example.prompt}")
+    print(f"reference : {example.reference}")
+    print(f"fault-free: {baseline}")
+
+    # Uniformly sampled 2-bit memory faults, exactly as campaign trials
+    # would draw them; most are masked (the paper's headline finding),
+    # so keep drawing until one visibly corrupts the output.
+    rng = np.random.default_rng(4)
+    pristine = None
+    for attempt in range(1, 61):
+        site = sample_site(engine, FaultModel.MEM_2BIT, rng)
+        pristine = engine.weight_store(site.layer_name).array.copy()
+        with MemoryFaultInjector(engine, site):
+            faulty = tokenizer.decode(generate_ids(engine, prompt, config))
+        restored = engine.weight_store(site.layer_name).array
+        assert np.array_equal(restored, pristine), "restore must be exact"
+        if faulty != baseline:
+            print(
+                f"\ndraw #{attempt}: 2bits-mem fault in {site.layer_name}"
+                f" weight=({site.row},{site.col}) bits={site.bits}"
+            )
+            print(f"faulty    : {faulty}")
+            break
+        if attempt == 1:
+            print("\ndrawing random memory faults (masked draws elided)...")
+    else:
+        print("all 60 draws were masked — the model shrugged them off")
+    print("\nweight restored bit-exactly after injection — ready for the"
+          " next trial.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Reasoning under faults: the paper's GSM8k / Chain-of-Thought story.
+
+Reproduces the mechanics of Figures 12 and 20 on a small model:
+
+* shows a fault corrupting an intermediate reasoning token and
+  propagating to the final answer (an SDC),
+* compares CoT ("think step by step") against direct answering under
+  memory faults, reporting normalized accuracy for both.
+
+Run:  python examples/reasoning_under_faults.py
+"""
+
+import numpy as np
+
+from repro import FaultModel, FICampaign, GenerationConfig, InferenceEngine
+from repro.fi import MemoryFaultInjector, sample_site
+from repro.generation import generate_ids
+from repro.tasks import GSM8kTask, standardized_subset
+from repro.zoo import default_tokenizer, default_world, load_model
+
+N_TRIALS = 40
+
+
+def show_corrupted_reasoning(engine, tokenizer, world) -> None:
+    """Hunt for a trial where the reasoning chain visibly derails."""
+    task = GSM8kTask(world, use_cot=True)
+    example = standardized_subset(task, 4)[1]
+    config = GenerationConfig(max_new_tokens=26, eos_id=tokenizer.vocab.eos_id)
+    prompt = tokenizer.encode(example.prompt)
+    baseline = tokenizer.decode(generate_ids(engine, prompt, config))
+    print(f"problem  : {example.prompt}")
+    print(f"baseline : {baseline}")
+    rng = np.random.default_rng(17)
+    for _ in range(60):
+        site = sample_site(engine, FaultModel.MEM_2BIT, rng)
+        with MemoryFaultInjector(engine, site):
+            faulty = tokenizer.decode(generate_ids(engine, prompt, config))
+        if faulty != baseline:
+            print(f"fault    : {site.layer_name} bits={site.bits}")
+            print(f"faulty   : {faulty}")
+            break
+    else:
+        print("(no output-changing fault found in 60 draws)")
+
+
+def cot_vs_direct(engine, tokenizer, world) -> None:
+    print("\n=== CoT vs direct answering under 2bits-mem ===")
+    for use_cot in (True, False):
+        task = GSM8kTask(world, use_cot=use_cot)
+        campaign = FICampaign(
+            engine=engine,
+            tokenizer=tokenizer,
+            task_name="gsm8k",
+            metrics=task.metrics,
+            examples=standardized_subset(task, 8),
+            fault_model=FaultModel.MEM_2BIT,
+            seed=23,
+            generation=GenerationConfig(
+                max_new_tokens=task.max_new_tokens,
+                eos_id=tokenizer.vocab.eos_id,
+            ),
+        )
+        result = campaign.run(N_TRIALS)
+        mode = "cot   " if use_cot else "direct"
+        ci = result.normalized["accuracy"]
+        print(
+            f"{mode}: baseline {result.baseline['accuracy']:5.1f}%"
+            f"  normalized {ci.ratio:.3f} [{ci.lower:.3f}, {ci.upper:.3f}]"
+            f"  sdc-rate {result.sdc_rate:.2f}"
+        )
+
+
+def main() -> None:
+    world = default_world()
+    tokenizer = default_tokenizer(world)
+    engine = InferenceEngine(load_model("qwenlike-base"))
+    show_corrupted_reasoning(engine, tokenizer, world)
+    cot_vs_direct(engine, tokenizer, world)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Storage-format study: quantization and dtype resilience (Figs 17/21).
+
+Runs the same 2-bit memory-fault campaign against one model stored five
+ways — FP32, FP16, BF16, GPTQ-style INT8 and INT4 — and prints the
+normalized performance for each, reproducing Observations #8 and #11:
+quantized codes are the most robust, BF16 (widest exponent range) the
+most fragile.
+
+Run:  python examples/storage_formats_study.py
+"""
+
+from repro import FaultModel, FICampaign, GenerationConfig, InferenceEngine
+from repro.numerics import flip_value_bits
+from repro.tasks import TranslationTask, standardized_subset
+from repro.zoo import default_tokenizer, default_world, load_model
+
+POLICIES = ("fp32", "fp16", "bf16", "int8", "int4")
+N_TRIALS = 40
+
+
+def show_bit_flip_anatomy() -> None:
+    """Why BF16 is fragile: the same MSB flip in each float format."""
+    print("=== what flipping the top exponent bit does to 0.5 ===")
+    for fmt in ("fp16", "bf16", "fp32"):
+        from repro.numerics import get_format
+
+        bit = get_format(fmt).bits - 2  # highest exponent bit
+        corrupted = float(flip_value_bits(0.5, [bit], fmt))
+        print(f"{fmt:5s}: 0.5 -> {corrupted:.4g}")
+    print()
+
+
+def main() -> None:
+    show_bit_flip_anatomy()
+    world = default_world()
+    tokenizer = default_tokenizer(world)
+    store = load_model("qwenlike-base")
+    task = TranslationTask(world)
+    examples = standardized_subset(task, 8)
+
+    print("=== 2bits-mem campaign per storage policy ===")
+    print(f"{'policy':8s} {'baseline BLEU':>14s} {'normalized':>11s} {'sdc':>6s}")
+    for policy in POLICIES:
+        engine = InferenceEngine(store, weight_policy=policy)
+        campaign = FICampaign(
+            engine=engine,
+            tokenizer=tokenizer,
+            task_name=task.name,
+            metrics=task.metrics,
+            examples=examples,
+            fault_model=FaultModel.MEM_2BIT,
+            seed=47,
+            generation=GenerationConfig(
+                max_new_tokens=task.max_new_tokens,
+                eos_id=tokenizer.vocab.eos_id,
+            ),
+        )
+        result = campaign.run(N_TRIALS)
+        print(
+            f"{policy:8s} {result.baseline['bleu']:14.1f}"
+            f" {result.normalized['bleu'].ratio:11.3f}"
+            f" {result.sdc_rate:6.2f}"
+        )
+    print("\nexpected shape: int4/int8 ~1.0 (a code flip moves a weight a"
+          " few steps); bf16 worst (2^128-scale blowups).")
+
+
+if __name__ == "__main__":
+    main()

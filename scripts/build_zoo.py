@@ -1,0 +1,10 @@
+"""Build every zoo model into the artifacts cache (one-time, ~1h CPU)."""
+import time
+from repro.zoo import load_model, zoo_names
+
+t0 = time.time()
+for name in zoo_names():
+    print(f"=== building {name} (t={time.time()-t0:.0f}s) ===", flush=True)
+    store = load_model(name, verbose=True)
+    print(f"=== {name} cached, {store.n_params()} params ===", flush=True)
+print(f"ALL ZOO MODELS BUILT in {time.time()-t0:.0f}s", flush=True)

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package
+PEP 660 editable installs need, so `pip install -e .` falls back to this
+setup.py-based develop install."""
+from setuptools import setup
+
+setup()

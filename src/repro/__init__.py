@@ -1,0 +1,101 @@
+"""repro — end-to-end resilience study of LLM inference under soft errors.
+
+A from-scratch reproduction of "Demystifying the Resilience of Large
+Language Model Inference: An End-to-End Perspective" (SC '25): a
+pure-NumPy transformer training + inference stack, bit-exact float /
+quantized numerics, a nine-dataset synthetic task suite with the
+paper's six quality metrics, and a statistical fault-injection
+framework with one experiment runner per paper table and figure.
+
+Quick start::
+
+    from repro import ExperimentContext, fig17_quantization
+    ctx = ExperimentContext(n_examples=8, n_trials=40)
+    print(fig17_quantization(ctx))
+"""
+
+from repro.fi import (
+    CampaignResult,
+    FaultModel,
+    FaultSite,
+    FICampaign,
+    Outcome,
+    inject,
+    sample_site,
+    trace_fault,
+)
+from repro.generation import GenerationConfig, generate_ids
+from repro.harness import ExperimentContext, ExperimentResult
+from repro.harness.experiments import (
+    fig03_overall,
+    fig04_fault_models,
+    fig05_memory_propagation,
+    fig06_computational_propagation,
+    fig07_output_examples,
+    fig08_sdc_breakdown,
+    fig09_bit_positions_subtle,
+    fig10_bit_positions_distorted,
+    fig11_per_task,
+    fig13_weight_distributions,
+    fig14_moe_vs_dense,
+    fig15_gate_faults,
+    fig16_model_scale,
+    fig17_quantization,
+    fig18_beam_vs_greedy,
+    fig19_beam_tradeoff,
+    fig20_chain_of_thought,
+    fig21_dtypes,
+    table1_workloads,
+    table2_formats,
+)
+from repro.inference import InferenceEngine
+from repro.model import ModelConfig, ParamStore, TransformerLM
+from repro.tasks import World, all_tasks, standardized_subset
+from repro.zoo import load_model, zoo_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignResult",
+    "ExperimentContext",
+    "ExperimentResult",
+    "FICampaign",
+    "FaultModel",
+    "FaultSite",
+    "GenerationConfig",
+    "InferenceEngine",
+    "ModelConfig",
+    "Outcome",
+    "ParamStore",
+    "TransformerLM",
+    "World",
+    "__version__",
+    "all_tasks",
+    "fig03_overall",
+    "fig04_fault_models",
+    "fig05_memory_propagation",
+    "fig06_computational_propagation",
+    "fig07_output_examples",
+    "fig08_sdc_breakdown",
+    "fig09_bit_positions_subtle",
+    "fig10_bit_positions_distorted",
+    "fig11_per_task",
+    "fig13_weight_distributions",
+    "fig14_moe_vs_dense",
+    "fig15_gate_faults",
+    "fig16_model_scale",
+    "fig17_quantization",
+    "fig18_beam_vs_greedy",
+    "fig19_beam_tradeoff",
+    "fig20_chain_of_thought",
+    "fig21_dtypes",
+    "generate_ids",
+    "inject",
+    "load_model",
+    "sample_site",
+    "standardized_subset",
+    "table1_workloads",
+    "table2_formats",
+    "trace_fault",
+    "zoo_names",
+]

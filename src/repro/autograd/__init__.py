@@ -1,0 +1,43 @@
+"""Reverse-mode autodiff over NumPy: the training substrate."""
+
+from repro.autograd.functional import (
+    cross_entropy,
+    log_softmax,
+    log_softmax_np,
+    rms_norm,
+    rms_norm_np,
+    rope,
+    rotate_half,
+    silu,
+    silu_np,
+    softmax,
+    softmax_np,
+)
+from repro.autograd.gradcheck import check_gradients, numeric_gradient
+from repro.autograd.optim import SGD, AdamW, CosineWarmupSchedule, clip_grad_norm
+from repro.autograd.tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad
+
+__all__ = [
+    "AdamW",
+    "CosineWarmupSchedule",
+    "SGD",
+    "Tensor",
+    "as_tensor",
+    "check_gradients",
+    "clip_grad_norm",
+    "concat",
+    "cross_entropy",
+    "is_grad_enabled",
+    "log_softmax",
+    "log_softmax_np",
+    "no_grad",
+    "numeric_gradient",
+    "rms_norm",
+    "rms_norm_np",
+    "rope",
+    "rotate_half",
+    "silu",
+    "silu_np",
+    "softmax",
+    "softmax_np",
+]

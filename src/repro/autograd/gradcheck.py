@@ -1,0 +1,61 @@
+"""Finite-difference gradient checking for the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["numeric_gradient", "check_gradients"]
+
+
+def numeric_gradient(
+    fn: Callable[..., Tensor],
+    inputs: list[np.ndarray],
+    wrt: int,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    Inputs are perturbed in float64 to keep truncation error dominant
+    over round-off; the analytic engine runs in float32, so comparisons
+    should use a tolerance around 1e-2 relative.
+    """
+    base = [np.asarray(x, dtype=np.float64) for x in inputs]
+    grad = np.zeros_like(base[wrt])
+    it = np.nditer(base[wrt], flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = base[wrt][idx]
+        base[wrt][idx] = orig + eps
+        plus = float(fn(*[Tensor(b) for b in base]).data.sum())
+        base[wrt][idx] = orig - eps
+        minus = float(fn(*[Tensor(b) for b in base]).data.sum())
+        base[wrt][idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: list[np.ndarray],
+    rtol: float = 2e-2,
+    atol: float = 2e-3,
+) -> None:
+    """Assert analytic gradients match finite differences for every input."""
+    tensors = [Tensor(np.asarray(x, np.float32), requires_grad=True) for x in inputs]
+    out = fn(*tensors)
+    out.sum().backward() if out.ndim else out.backward()
+    for i, t in enumerate(tensors):
+        expected = numeric_gradient(fn, inputs, wrt=i)
+        actual = t.grad if t.grad is not None else np.zeros_like(t.data)
+        np.testing.assert_allclose(
+            actual,
+            expected,
+            rtol=rtol,
+            atol=atol,
+            err_msg=f"gradient mismatch for input {i}",
+        )

@@ -1,0 +1,130 @@
+"""Optimizers and gradient utilities for the training substrate."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["SGD", "AdamW", "clip_grad_norm", "CosineWarmupSchedule"]
+
+
+def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm (useful for divergence monitoring).
+    """
+    params = [p for p in params if p.grad is not None]
+    total = math.sqrt(sum(float((p.grad**2).sum()) for p in params))  # type: ignore[operator]
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale  # type: ignore[operator]
+    return total
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, params: Iterable[Tensor], lr: float, momentum: float = 0.0
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+
+class AdamW:
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.95),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step += 1
+        bc1 = 1.0 - self.beta1**self._step
+        bc2 = 1.0 - self.beta2**self._step
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            p.data -= self.lr * update
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+
+class CosineWarmupSchedule:
+    """Linear warmup followed by cosine decay, mutating ``optimizer.lr``."""
+
+    def __init__(
+        self,
+        optimizer: "AdamW | SGD",
+        peak_lr: float,
+        warmup_steps: int,
+        total_steps: int,
+        final_lr_frac: float = 0.1,
+    ) -> None:
+        if warmup_steps < 0 or total_steps <= 0:
+            raise ValueError("invalid schedule lengths")
+        self.optimizer = optimizer
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.final_lr_frac = final_lr_frac
+        self._t = 0
+
+    def lr_at(self, t: int) -> float:
+        if self.warmup_steps and t < self.warmup_steps:
+            return self.peak_lr * (t + 1) / self.warmup_steps
+        span = max(1, self.total_steps - self.warmup_steps)
+        progress = min(1.0, (t - self.warmup_steps) / span)
+        floor = self.peak_lr * self.final_lr_frac
+        return floor + 0.5 * (self.peak_lr - floor) * (1 + math.cos(math.pi * progress))
+
+    def step(self) -> float:
+        lr = self.lr_at(self._t)
+        self.optimizer.lr = lr
+        self._t += 1
+        return lr

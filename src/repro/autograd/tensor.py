@@ -1,0 +1,456 @@
+"""A compact reverse-mode automatic differentiation engine over NumPy.
+
+The paper evaluates pretrained commercial LLMs; offline we must *train*
+our own models so that fault injection perturbs genuinely learned
+behaviour rather than random weights.  This module provides the minimal
+but complete autograd substrate for that: a :class:`Tensor` wrapping a
+``numpy.ndarray`` with a dynamically-built backward graph, supporting
+every operation the Llama-style transformer needs (broadcasted
+arithmetic, batched matmul, reductions, indexing/embedding-gather,
+reshape/transpose, concatenation and elementwise nonlinearities).
+
+Design notes (following the scientific-Python optimization guidance):
+
+* all heavy lifting is vectorised NumPy; Python-level overhead is one
+  closure per op;
+* gradients accumulate in-place (``+=``) into pre-allocated buffers;
+* data is kept ``float32`` throughout — the training precision used by
+  the paper's models — with no silent upcasts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (inference mode)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A NumPy array with reverse-mode gradient tracking."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __array_priority__ = 100  # make ndarray defer to our reflected ops
+
+    def __init__(
+        self,
+        data: np.ndarray | float | Sequence,
+        requires_grad: bool = False,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[], None],
+    ) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            # Copy: the incoming buffer may alias an upstream grad.
+            self.grad = np.array(grad, dtype=np.float32)
+        else:
+            self.grad += grad
+
+    # -- shape properties ----------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (a view, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """The value of a scalar tensor as a Python float."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A view of the data cut off from the autograd graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        """Drop any accumulated gradient."""
+        self.grad = None
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward() -> None:
+            g = out.grad
+            assert g is not None
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward() -> None:
+            assert out.grad is not None
+            if self.requires_grad:
+                self._accumulate(-out.grad)
+
+        out = Tensor._make(-self.data, (self,), backward)
+        return out
+
+    def __sub__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward() -> None:
+            g = out.grad
+            assert g is not None
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g * self.data, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        return self * as_tensor(other) ** -1.0
+
+    def __rtruediv__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        return as_tensor(other) * self**-1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("Tensor ** only supports scalar exponents")
+        out_data = self.data**exponent
+
+        def backward() -> None:
+            assert out.grad is not None
+            if self.requires_grad:
+                self._accumulate(
+                    out.grad * exponent * self.data ** (exponent - 1.0)
+                )
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def __matmul__(self, other: "Tensor | np.ndarray") -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward() -> None:
+            g = out.grad
+            assert g is not None
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    ga = np.multiply.outer(g, other.data)
+                else:
+                    ga = g @ other.data.swapaxes(-1, -2)
+                self._accumulate(_unbroadcast(ga, self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    gb = np.multiply.outer(self.data, g)
+                else:
+                    gb = self.data.swapaxes(-1, -2) @ g
+                other._accumulate(_unbroadcast(gb, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    # -- elementwise nonlinearities ---------------------------------------------
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward() -> None:
+            assert out.grad is not None
+            if self.requires_grad:
+                self._accumulate(out.grad * out_data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        out_data = np.log(self.data)
+
+        def backward() -> None:
+            assert out.grad is not None
+            if self.requires_grad:
+                self._accumulate(out.grad / self.data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward() -> None:
+            assert out.grad is not None
+            if self.requires_grad:
+                self._accumulate(out.grad * (1.0 - out_data * out_data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic function."""
+        # exp underflow/overflow saturates to the correct limit values,
+        # so the plain form is safe under errstate suppression (and much
+        # faster than masked two-branch evaluation).
+        with np.errstate(over="ignore"):
+            out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward() -> None:
+            assert out.grad is not None
+            if self.requires_grad:
+                self._accumulate(out.grad * out_data * (1.0 - out_data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root (via ``** 0.5``)."""
+        return self**0.5
+
+    # -- reductions ----------------------------------------------------------
+
+    def sum(
+        self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False
+    ) -> "Tensor":
+        """Sum over ``axis`` (all axes when None)."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward() -> None:
+            g = out.grad
+            assert g is not None
+            if not self.requires_grad:
+                return
+            if axis is None:
+                self._accumulate(np.broadcast_to(g, self.shape).astype(np.float32))
+                return
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.shape).astype(np.float32))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def mean(
+        self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False
+    ) -> "Tensor":
+        """Arithmetic mean over ``axis`` (all axes when None)."""
+        if axis is None:
+            count = self.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # -- shape manipulation ------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """View with a new shape; gradient reshapes back."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward() -> None:
+            assert out.grad is not None
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(self.shape))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute axes (defaults to full reversal, like NumPy)."""
+        axes_t = tuple(axes) if axes else tuple(range(self.ndim))[::-1]
+        out_data = self.data.transpose(axes_t)
+        inverse = tuple(np.argsort(axes_t))
+
+        def backward() -> None:
+            assert out.grad is not None
+            if self.requires_grad:
+                self._accumulate(out.grad.transpose(inverse))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        """Exchange two axes."""
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index: object) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward() -> None:
+            assert out.grad is not None
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+
+        out = Tensor._make(np.ascontiguousarray(out_data), (self,), backward)
+        return out
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows (embedding lookup): ``out[..., :] = self[idx[...], :]``."""
+        indices = np.asarray(indices)
+        out_data = self.data[indices]
+
+        def backward() -> None:
+            assert out.grad is not None
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, indices, out.grad)
+                self._accumulate(grad)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # -- graph execution ---------------------------------------------------------
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode accumulation from this tensor.
+
+        ``grad`` defaults to ones (i.e. this tensor is a scalar loss).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that requires no grad")
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+        self.grad = (
+            np.ones_like(self.data) if grad is None else np.asarray(grad, np.float32)
+        )
+        for node in reversed(topo):
+            if node._backward is not None:
+                node._backward()
+            # Tear the graph down as we go: the backward closures refer
+            # to their own output node (a reference cycle that otherwise
+            # waits for the cycle collector), and intermediate grads are
+            # dead once consumed.  Leaves (parameters) keep their grads.
+            node._backward = None
+            if node._parents:
+                node._parents = ()
+                if node is not self:
+                    node.grad = None
+
+
+def as_tensor(value: "Tensor | float | np.ndarray | Sequence") -> Tensor:
+    """Wrap ``value`` in a non-grad Tensor if it is not one already."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = list(tensors)
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward() -> None:
+        assert out.grad is not None
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer: list[slice] = [slice(None)] * out_data.ndim
+                slicer[axis] = slice(int(lo), int(hi))
+                t._accumulate(out.grad[tuple(slicer)])
+
+    out = Tensor._make(out_data, tuple(tensors), backward)
+    return out

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-models``
+    Show the zoo roster, parameter counts and cache status.
+``build [NAME ...] [--all]``
+    Train-and-cache zoo models (everything the experiments need).
+``eval MODEL TASK [--examples N] [--beams K]``
+    Fault-free evaluation of one model on one task.
+``campaign MODEL TASK FAULT [--trials N ...]``
+    One statistical fault-injection campaign; prints normalized
+    performance with 95% CIs and the SDC breakdown.
+``experiment ID [...]``
+    Reproduce one paper table/figure (e.g. ``fig17``, ``table2``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fi.fault_models import FaultModel
+from repro.harness import ExperimentContext, format_table
+from repro.harness import experiments as _experiments
+from repro.zoo import ZOO, cache_path, load_model, zoo_names
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table1": _experiments.table1_workloads,
+    "table2": _experiments.table2_formats,
+    "fig03": _experiments.fig03_overall,
+    "fig04": _experiments.fig04_fault_models,
+    "fig05": _experiments.fig05_memory_propagation,
+    "fig06": _experiments.fig06_computational_propagation,
+    "fig07": _experiments.fig07_output_examples,
+    "fig08": _experiments.fig08_sdc_breakdown,
+    "fig09": _experiments.fig09_bit_positions_subtle,
+    "fig10": _experiments.fig10_bit_positions_distorted,
+    "fig11": _experiments.fig11_per_task,
+    "fig13": _experiments.fig13_weight_distributions,
+    "fig14": _experiments.fig14_moe_vs_dense,
+    "fig15": _experiments.fig15_gate_faults,
+    "fig16": _experiments.fig16_model_scale,
+    "fig17": _experiments.fig17_quantization,
+    "fig18": _experiments.fig18_beam_vs_greedy,
+    "fig19": _experiments.fig19_beam_tradeoff,
+    "fig20": _experiments.fig20_chain_of_thought,
+    "fig21": _experiments.fig21_dtypes,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="End-to-end LLM inference resilience study (SC'25 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="show the zoo roster and cache status")
+
+    build = sub.add_parser("build", help="train-and-cache zoo models")
+    build.add_argument("names", nargs="*", help="model names (default: none)")
+    build.add_argument("--all", action="store_true", help="build every model")
+
+    evaluate = sub.add_parser("eval", help="fault-free model evaluation")
+    evaluate.add_argument("model", choices=zoo_names())
+    evaluate.add_argument("task")
+    evaluate.add_argument("--examples", type=int, default=20)
+    evaluate.add_argument("--beams", type=int, default=1)
+
+    campaign = sub.add_parser("campaign", help="one fault-injection campaign")
+    campaign.add_argument("model", choices=zoo_names())
+    campaign.add_argument("task")
+    campaign.add_argument(
+        "fault", choices=[fm.value for fm in FaultModel.all()]
+    )
+    campaign.add_argument("--trials", type=int, default=100)
+    campaign.add_argument("--examples", type=int, default=12)
+    campaign.add_argument("--policy", default="bf16")
+    campaign.add_argument("--beams", type=int, default=1)
+    campaign.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser(
+        "experiment", help="reproduce one paper table/figure"
+    )
+    experiment.add_argument("id", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--trials", type=int, default=36)
+    experiment.add_argument("--examples", type=int, default=8)
+    experiment.add_argument("--seed", type=int, default=20251116)
+    return parser
+
+
+def _cmd_list_models() -> int:
+    print(f"{'name':18s} {'params':>9s} {'kind':12s} {'cached':6s}")
+    tokenizer_len = None
+    from repro.zoo.build import default_tokenizer
+
+    tokenizer_len = len(default_tokenizer())
+    for name in zoo_names():
+        spec = ZOO[name]
+        config = spec.model_config(tokenizer_len)
+        kind = "moe" if config.is_moe else (
+            "fine-tuned" if spec.base else "general"
+        )
+        cached = "yes" if cache_path(name).exists() else "no"
+        print(f"{name:18s} {config.n_params():9d} {kind:12s} {cached:6s}")
+    return 0
+
+
+def _cmd_build(names: list[str], build_all: bool) -> int:
+    targets = zoo_names() if build_all else names
+    if not targets:
+        print("nothing to build: pass model names or --all", file=sys.stderr)
+        return 2
+    for name in targets:
+        store = load_model(name)
+        print(f"{name}: ready ({store.n_params()} params)")
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.fi.campaign import FICampaign
+    from repro.harness.context import ExperimentContext
+
+    ctx = ExperimentContext(n_examples=args.examples)
+    task = ctx.task(args.task)
+    campaign = FICampaign(
+        engine=ctx.engine(args.model),
+        tokenizer=ctx.tokenizer,
+        task_name=task.name,
+        metrics=task.metrics,
+        examples=ctx.examples(args.task),
+        fault_model=FaultModel.MEM_2BIT,  # unused: baseline only
+        generation=ctx.generation(task, num_beams=args.beams),
+    )
+    for metric, value in campaign.compute_baseline().items():
+        print(f"{metric:12s} {value:8.3f}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.fi.campaign import FICampaign
+
+    ctx = ExperimentContext(n_examples=args.examples, seed=args.seed)
+    task = ctx.task(args.task)
+    campaign = FICampaign(
+        engine=ctx.engine(args.model, args.policy),
+        tokenizer=ctx.tokenizer,
+        task_name=task.name,
+        metrics=task.metrics,
+        examples=ctx.examples(args.task),
+        fault_model=FaultModel(args.fault),
+        seed=args.seed,
+        generation=ctx.generation(task, num_beams=args.beams),
+    )
+    result = campaign.run(args.trials)
+    print(f"model={args.model} task={args.task} fault={args.fault}"
+          f" policy={args.policy} trials={args.trials}")
+    for metric in result.baseline:
+        ci = result.normalized[metric]
+        print(
+            f"{metric:12s} baseline {result.baseline[metric]:8.3f}"
+            f"  faulty {result.faulty[metric]:8.3f}"
+            f"  normalized {ci.ratio:.4f} [{ci.lower:.4f}, {ci.upper:.4f}]"
+        )
+    breakdown = result.sdc_breakdown()
+    print(f"sdc rate {result.sdc_rate:.3f}"
+          f" (subtle {breakdown['subtle']:.3f},"
+          f" distorted {breakdown['distorted']:.3f})")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ctx = ExperimentContext(
+        n_examples=args.examples, n_trials=args.trials, seed=args.seed
+    )
+    result = _EXPERIMENTS[args.id](ctx)
+    print(format_table(result))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list-models":
+        return _cmd_list_models()
+    if args.command == "build":
+        return _cmd_build(args.names, args.all)
+    if args.command == "eval":
+        return _cmd_eval(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

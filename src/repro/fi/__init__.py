@@ -1,0 +1,51 @@
+"""Fault-injection framework: models, sites, injectors, campaigns."""
+
+from repro.fi.analysis import (
+    GroupVulnerability,
+    by_bit_role,
+    by_block,
+    by_layer_type,
+    most_vulnerable,
+)
+from repro.fi.campaign import CampaignResult, FICampaign, TrialRecord
+from repro.fi.fault_models import FaultModel
+from repro.fi.injector import (
+    ComputationalFaultInjector,
+    MemoryFaultInjector,
+    inject,
+)
+from repro.fi.outcomes import (
+    Outcome,
+    classify_direct_answer,
+    classify_generative,
+    is_distorted,
+)
+from repro.fi.projection import SDCProjection, project_sdc_rate
+from repro.fi.propagation import PropagationTrace, trace_fault
+from repro.fi.sites import FaultSite, LayerFilter, sample_site
+
+__all__ = [
+    "CampaignResult",
+    "GroupVulnerability",
+    "by_bit_role",
+    "by_block",
+    "by_layer_type",
+    "most_vulnerable",
+    "ComputationalFaultInjector",
+    "FICampaign",
+    "FaultModel",
+    "FaultSite",
+    "LayerFilter",
+    "MemoryFaultInjector",
+    "Outcome",
+    "PropagationTrace",
+    "SDCProjection",
+    "TrialRecord",
+    "classify_direct_answer",
+    "classify_generative",
+    "inject",
+    "project_sdc_rate",
+    "is_distorted",
+    "sample_site",
+    "trace_fault",
+]

@@ -1,0 +1,374 @@
+"""Statistical fault-injection campaigns (paper §3.2, §3.3).
+
+A campaign evaluates one (model, task, fault model) cell of the paper's
+study: it computes the fault-free baseline over a standardized example
+subset, then runs ``n_trials`` independent fault injections — each at a
+uniformly sampled site — and aggregates normalized performance with
+log-transform 95% confidence intervals, SDC breakdowns and
+bit-position vulnerability profiles.
+
+Trials are seeded individually (``default_rng([seed, trial])``) so a
+campaign is bit-reproducible and embarrassingly parallel: the optional
+process pool partitions trials without changing any sampled site.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fi.fault_models import FaultModel
+from repro.fi.injector import inject
+from repro.fi.outcomes import Outcome, classify_direct_answer, classify_generative
+from repro.fi.sites import FaultSite, LayerFilter, sample_site
+from repro.generation.decode import GenerationConfig, choose_option, generate_ids
+from repro.inference.engine import CaptureState, InferenceEngine
+from repro.metrics.evaluate import score_generative
+from repro.model.params import ParamStore
+from repro.numerics.stats import (
+    RatioCI,
+    log_ratio_ci_means,
+    log_ratio_ci_proportions,
+)
+from repro.tasks.base import GenExample, MCExample
+from repro.tasks.math_task import extract_final_answer
+from repro.text.tokenizer import Tokenizer
+
+__all__ = ["TrialRecord", "CampaignResult", "FICampaign"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One fault-injection run's outcome."""
+
+    site: FaultSite
+    example_index: int
+    prediction: str
+    outcome: Outcome
+    metrics: dict = field(hash=False, compare=False)
+    changed: bool = False
+    selection_changed: bool | None = None
+    """For MoE gate studies: did the expert routing change?"""
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign statistics."""
+
+    task_name: str
+    fault_model: FaultModel
+    n_trials: int
+    baseline: dict
+    faulty: dict
+    normalized: dict
+    trials: list[TrialRecord]
+
+    @property
+    def sdc_rate(self) -> float:
+        """Fraction of trials whose outcome is an SDC."""
+        if not self.trials:
+            return 0.0
+        return sum(t.outcome.is_sdc for t in self.trials) / len(self.trials)
+
+    def sdc_breakdown(self) -> dict[str, float]:
+        """Fractions of all trials that are subtle vs distorted SDCs."""
+        n = max(1, len(self.trials))
+        subtle = sum(t.outcome is Outcome.SDC_SUBTLE for t in self.trials)
+        distorted = sum(t.outcome is Outcome.SDC_DISTORTED for t in self.trials)
+        return {"subtle": subtle / n, "distorted": distorted / n}
+
+    def outcomes_by_highest_bit(self) -> dict[int, dict[str, int]]:
+        """Per-highest-flipped-bit outcome counts (paper Figs 9/10)."""
+        table: dict[int, dict[str, int]] = {}
+        for t in self.trials:
+            row = table.setdefault(
+                t.site.highest_bit, {"masked": 0, "subtle": 0, "distorted": 0}
+            )
+            key = {
+                Outcome.MASKED: "masked",
+                Outcome.SDC_SUBTLE: "subtle",
+                Outcome.SDC_DISTORTED: "distorted",
+            }[t.outcome]
+            row[key] += 1
+        return table
+
+
+# ----------------------------------------------------------------------------
+# Worker-side state for the process pool.
+# ----------------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _worker_init(store: ParamStore, policy: str, campaign_state: dict) -> None:
+    _WORKER["engine"] = InferenceEngine(store, weight_policy=policy)
+    _WORKER["state"] = campaign_state
+
+
+def _worker_run(args: tuple[int, int]) -> list[TrialRecord]:
+    lo, hi = args
+    state = _WORKER["state"]
+    campaign = FICampaign.__new__(FICampaign)
+    campaign.__dict__.update(state)
+    campaign.engine = _WORKER["engine"]
+    return [campaign._run_trial(i) for i in range(lo, hi)]
+
+
+class FICampaign:
+    """Driver for one statistical fault-injection campaign."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        tokenizer: Tokenizer,
+        task_name: str,
+        metrics: tuple[str, ...],
+        examples: list,
+        fault_model: FaultModel,
+        seed: int = 0,
+        generation: GenerationConfig | None = None,
+        layer_filter: LayerFilter | None = None,
+        track_expert_selection: bool = False,
+        max_fault_iterations: int | None = None,
+    ) -> None:
+        self.engine = engine
+        self.tokenizer = tokenizer
+        self.task_name = task_name
+        self.metrics = metrics
+        self.examples = list(examples)
+        if not self.examples:
+            raise ValueError("campaign needs at least one example")
+        self.fault_model = fault_model
+        self.seed = seed
+        self.is_mc = isinstance(self.examples[0], MCExample)
+        self.generation = generation or GenerationConfig()
+        self.layer_filter = layer_filter
+        self.track_expert_selection = track_expert_selection
+        self.max_fault_iterations = max_fault_iterations
+        """Restrict computational-fault timing to iterations below this
+        bound (the paper's CoT study injects only during reasoning-token
+        generation)."""
+        self._baseline_preds: list | None = None
+        self._baseline_selections: list | None = None
+
+    # -- shared single-example evaluation --------------------------------------
+
+    def _encode_mc(self, ex: MCExample) -> tuple[list[int], list[list[int]]]:
+        prompt = self.tokenizer.encode(ex.prompt)
+        options = [self.tokenizer.encode(o) for o in ex.options]
+        return prompt, options
+
+    def _eval_mc(self, ex: MCExample) -> int:
+        prompt, options = self._encode_mc(ex)
+        return choose_option(self.engine, prompt, options)
+
+    def _eval_gen(self, ex: GenExample) -> str:
+        prompt = self.tokenizer.encode(ex.prompt)
+        ids = generate_ids(self.engine, prompt, self.generation)
+        return self.tokenizer.decode(ids)
+
+    def _capture_selections(self) -> dict | None:
+        if not self.track_expert_selection:
+            return None
+        assert self.engine.capture is not None
+        return dict(self.engine.capture.expert_selections)
+
+    # -- baseline ----------------------------------------------------------------
+
+    def compute_baseline(self) -> dict:
+        """Fault-free predictions + metrics over all examples (cached)."""
+        if self._baseline_preds is not None:
+            return self._baseline_metrics
+        preds = []
+        selections = []
+        for ex in self.examples:
+            if self.track_expert_selection:
+                self.engine.capture = CaptureState()
+            preds.append(self._eval_mc(ex) if self.is_mc else self._eval_gen(ex))
+            selections.append(self._capture_selections())
+            self.engine.capture = None
+        self._baseline_preds = preds
+        self._baseline_selections = selections
+        if self.is_mc:
+            hits = sum(
+                int(p == ex.answer_index) for p, ex in zip(preds, self.examples)
+            )
+            self._baseline_metrics = {"accuracy": 100.0 * hits / len(preds)}
+        else:
+            self._baseline_metrics = score_generative(
+                self.metrics, preds, self.examples
+            )
+        return self._baseline_metrics
+
+    # -- one trial ---------------------------------------------------------------
+
+    def _trial_site(self, trial: int, max_iterations: int) -> FaultSite:
+        rng = np.random.default_rng([self.seed, trial])
+        return sample_site(
+            self.engine,
+            self.fault_model,
+            rng,
+            max_iterations=max_iterations,
+            layer_filter=self.layer_filter,
+        )
+
+    def _selection_changed(self, idx: int, faulty: dict | None) -> bool | None:
+        if not self.track_expert_selection or faulty is None:
+            return None
+        assert self._baseline_selections is not None
+        base = self._baseline_selections[idx]
+        if base is None:
+            return None
+        for key, base_sel in base.items():
+            other = faulty.get(key)
+            if other is None or other.shape != base_sel.shape:
+                return True
+            if not np.array_equal(other, base_sel):
+                return True
+        return False
+
+    def _run_trial(self, trial: int) -> TrialRecord:
+        idx = trial % len(self.examples)
+        ex = self.examples[idx]
+        max_iter = 1 if self.is_mc else self.generation.max_new_tokens
+        if self.max_fault_iterations is not None:
+            max_iter = min(max_iter, self.max_fault_iterations)
+        site = self._trial_site(trial, max_iter)
+        if self.track_expert_selection:
+            self.engine.capture = CaptureState()
+        try:
+            with inject(self.engine, site):
+                if self.is_mc:
+                    pred_idx = self._eval_mc(ex)
+                else:
+                    text = self._eval_gen(ex)
+        finally:
+            selections = self._capture_selections()
+            self.engine.capture = None
+
+        assert self._baseline_preds is not None
+        base_pred = self._baseline_preds[idx]
+        if self.is_mc:
+            correct = pred_idx == ex.answer_index
+            outcome = Outcome.MASKED if correct else Outcome.SDC_SUBTLE
+            return TrialRecord(
+                site=site,
+                example_index=idx,
+                prediction=str(pred_idx),
+                outcome=outcome,
+                metrics={"accuracy": 100.0 * correct},
+                changed=pred_idx != base_pred,
+                selection_changed=self._selection_changed(idx, selections),
+            )
+        trial_metrics = score_generative(self.metrics, [text], [ex])
+        if "accuracy" in self.metrics:
+            outcome = classify_direct_answer(
+                extract_final_answer(text), ex.meta.get("final_answer", ""), text
+            )
+        else:
+            outcome = classify_generative(text, base_pred, ex.reference)
+        return TrialRecord(
+            site=site,
+            example_index=idx,
+            prediction=text,
+            outcome=outcome,
+            metrics=trial_metrics,
+            changed=text != base_pred,
+            selection_changed=self._selection_changed(idx, selections),
+        )
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def _aggregate(self, trials: list[TrialRecord]) -> CampaignResult:
+        baseline = self.compute_baseline()
+        faulty: dict = {}
+        normalized: dict = {}
+        for metric in baseline:
+            values = np.array([t.metrics[metric] for t in trials], dtype=np.float64)
+            faulty[metric] = float(values.mean())
+            if metric in ("accuracy", "exact_match"):
+                base_hits = round(baseline[metric] / 100.0 * len(self.examples))
+                normalized[metric] = log_ratio_ci_proportions(
+                    int((values > 0).sum()),
+                    len(values),
+                    max(1, int(base_hits)),
+                    len(self.examples),
+                )
+            else:
+                ratios = []
+                for t in trials:
+                    base = self._per_example_baseline(metric, t.example_index)
+                    if base > 0:
+                        ratios.append(t.metrics[metric] / base)
+                normalized[metric] = (
+                    log_ratio_ci_means(np.array(ratios), 1.0)
+                    if ratios
+                    else RatioCI(float("nan"), float("nan"), float("nan"))
+                )
+        return CampaignResult(
+            task_name=self.task_name,
+            fault_model=self.fault_model,
+            n_trials=len(trials),
+            baseline=baseline,
+            faulty=faulty,
+            normalized=normalized,
+            trials=trials,
+        )
+
+    def _per_example_baseline(self, metric: str, idx: int) -> float:
+        assert self._baseline_preds is not None
+        if self.is_mc:
+            ex = self.examples[idx]
+            return 100.0 * float(self._baseline_preds[idx] == ex.answer_index)
+        scored = score_generative(
+            (metric,), [self._baseline_preds[idx]], [self.examples[idx]]
+        )
+        return scored[metric]
+
+    # -- entry points ------------------------------------------------------------
+
+    def run(self, n_trials: int, n_workers: int = 0) -> CampaignResult:
+        """Execute ``n_trials`` fault injections (optionally in parallel).
+
+        ``n_workers=0`` runs serially; otherwise a process pool
+        partitions the trial range.  Results are identical either way
+        because every trial derives its RNG from ``[seed, trial]``.
+        """
+        self.compute_baseline()
+        if n_workers <= 1:
+            trials = [self._run_trial(i) for i in range(n_trials)]
+            return self._aggregate(trials)
+
+        state = {
+            k: v
+            for k, v in self.__dict__.items()
+            if k != "engine"
+        }
+        store = ParamStore(
+            self.engine.config,
+            {
+                **{
+                    f"{name}.weight": ws.array.copy()
+                    for name, ws in self.engine._stores.items()
+                },
+                **self.engine._plain,
+            },
+        )
+        n_workers = min(n_workers, os.cpu_count() or 1, n_trials)
+        bounds = np.linspace(0, n_trials, n_workers + 1, dtype=int)
+        chunks = [
+            (int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_worker_init,
+            initargs=(store, self.engine.weight_policy, state),
+        ) as pool:
+            parts = list(pool.map(_worker_run, chunks))
+        trials = [t for part in parts for t in part]
+        return self._aggregate(trials)

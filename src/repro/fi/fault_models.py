@@ -1,0 +1,41 @@
+"""Fault models (paper §3.1).
+
+* ``1bit-comp`` / ``2bits-comp`` — transient computational faults: bit
+  flips in one output neuron of one linear layer during one token
+  generation iteration (ALU-style upsets).
+* ``2bits-mem`` — uncorrectable memory faults: a double-bit flip in one
+  stored weight, persisting for the entire inference.  Single-bit
+  memory upsets are excluded because ECC corrects them on the GPUs the
+  paper targets.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["FaultModel"]
+
+
+class FaultModel(str, enum.Enum):
+    """The paper's three fault models (values match its labels)."""
+
+    COMP_1BIT = "1bit-comp"
+    COMP_2BIT = "2bits-comp"
+    MEM_2BIT = "2bits-mem"
+
+    @property
+    def n_bits(self) -> int:
+        """How many distinct bits flip per fault."""
+        return 1 if self is FaultModel.COMP_1BIT else 2
+
+    @property
+    def is_memory(self) -> bool:
+        return self is FaultModel.MEM_2BIT
+
+    @property
+    def is_computational(self) -> bool:
+        return not self.is_memory
+
+    @staticmethod
+    def all() -> tuple["FaultModel", ...]:
+        return (FaultModel.COMP_1BIT, FaultModel.COMP_2BIT, FaultModel.MEM_2BIT)

@@ -1,0 +1,91 @@
+"""Fault injectors: context managers that corrupt and always restore.
+
+``MemoryFaultInjector`` flips bits of one stored weight before the
+inference and flips them back afterwards — "after each execution, we
+flip the same bits back to their fault-free values to enable a fresh
+execution for the next fault injection run" (paper §3.2).
+
+``ComputationalFaultInjector`` registers a one-shot forward hook on the
+target layer: at the sampled token-generation iteration it flips bits
+of a single output-tensor element (in the engine's activation float
+format) and then disarms, so exactly one transient corruption occurs
+per inference — including under beam search, where only one hypothesis'
+computation is struck (a transient fault hits one kernel execution).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.fi.sites import FaultSite
+from repro.inference.engine import InferenceEngine
+from repro.inference.hooks import HookContext
+from repro.numerics.formats import flip_value_bits
+
+__all__ = ["MemoryFaultInjector", "ComputationalFaultInjector", "inject"]
+
+
+class MemoryFaultInjector:
+    """Persistent weight corruption with guaranteed restoration."""
+
+    def __init__(self, engine: InferenceEngine, site: FaultSite) -> None:
+        if not site.fault_model.is_memory:
+            raise ValueError(f"{site.fault_model} is not a memory fault model")
+        self.engine = engine
+        self.site = site
+        self._token = None
+
+    def __enter__(self) -> "MemoryFaultInjector":
+        store = self.engine.weight_store(self.site.layer_name)
+        self._token = store.flip_element_bits(
+            self.site.row, self.site.col, list(self.site.bits)
+        )
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._token is not None:
+            self.engine.weight_store(self.site.layer_name).restore(self._token)
+            self._token = None
+
+
+class ComputationalFaultInjector:
+    """One-shot activation corruption at a chosen generation iteration."""
+
+    def __init__(self, engine: InferenceEngine, site: FaultSite) -> None:
+        if not site.fault_model.is_computational:
+            raise ValueError(f"{site.fault_model} is not a computational model")
+        self.engine = engine
+        self.site = site
+        self.fired = False
+        self._remove: Callable[[], None] | None = None
+
+    def _hook(self, output: np.ndarray, ctx: HookContext) -> np.ndarray | None:
+        if self.fired or ctx.iteration != self.site.iteration:
+            return None
+        self.fired = True
+        flat = output if output.ndim == 2 else output.reshape(-1, output.shape[-1])
+        row = min(int(self.site.row_frac * flat.shape[0]), flat.shape[0] - 1)
+        col = self.site.col % flat.shape[1]
+        flat[row, col] = flip_value_bits(
+            flat[row, col], list(self.site.bits), self.engine.activation_format
+        )
+        return output
+
+    def __enter__(self) -> "ComputationalFaultInjector":
+        self.fired = False
+        self._remove = self.engine.hooks.register(self.site.layer_name, self._hook)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._remove is not None:
+            self._remove()
+            self._remove = None
+
+
+def inject(engine: InferenceEngine, site: FaultSite):
+    """Build the right injector for ``site``'s fault model."""
+    if site.fault_model.is_memory:
+        return MemoryFaultInjector(engine, site)
+    return ComputationalFaultInjector(engine, site)

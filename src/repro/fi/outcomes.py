@@ -1,0 +1,98 @@
+"""Outcome classification for fault-injection runs (paper §3.2, Fig. 8).
+
+Direct-answer tasks are classified **Masked** (final answer equals the
+reference) or **SDC** (silent data corruption — a wrong final answer).
+SDCs subdivide into
+
+* **distorted** — structurally broken output: repeated or meaningless
+  tokens, out-of-vocabulary garbage, truncated-to-nothing generations
+  (paper Fig. 7 top); these come almost exclusively from high exponent
+  bit flips, and from memory faults far more than computational ones;
+* **subtly wrong** — fluent, well-formed text whose content is wrong
+  (paper Fig. 7 bottom) — the majority of SDCs.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from collections import Counter
+
+__all__ = ["Outcome", "is_distorted", "classify_direct_answer", "classify_generative"]
+
+
+class Outcome(enum.Enum):
+    """Fault-injection run outcome (Masked vs the two SDC kinds)."""
+
+    MASKED = "masked"
+    SDC_SUBTLE = "sdc-subtle"
+    SDC_DISTORTED = "sdc-distorted"
+
+    @property
+    def is_sdc(self) -> bool:
+        """True for any silent data corruption (wrong output)."""
+        return self is not Outcome.MASKED
+
+
+_MAX_REPEAT_RUN = 3
+_SPECIAL = re.compile(r"<(unk|pad|bos|sep)>")
+
+
+def is_distorted(text: str, reference: str | None = None) -> bool:
+    """Heuristic detector for structurally broken generations.
+
+    Flags: emptiness, special-token garbage, long same-token runs,
+    degenerate token diversity on long outputs, or runaway length
+    versus the reference.
+    """
+    tokens = text.split()
+    if not tokens:
+        return True
+    if _SPECIAL.search(text):
+        return True
+    run = 1
+    for prev, curr in zip(tokens, tokens[1:]):
+        run = run + 1 if prev == curr else 1
+        if run > _MAX_REPEAT_RUN:
+            return True
+    if len(tokens) >= 8:
+        counts = Counter(tokens)
+        if counts.most_common(1)[0][1] / len(tokens) > 0.6:
+            return True
+    if reference is not None:
+        ref_len = max(1, len(reference.split()))
+        if len(tokens) > 3 * ref_len + 8:
+            return True
+    return False
+
+
+def classify_direct_answer(
+    predicted_answer: str | None, reference_answer: str, output_text: str
+) -> Outcome:
+    """Classify a direct-answer (math / multiple-choice style) run.
+
+    Distortion is decided by output *structure*, not by whether an
+    answer could be extracted: a fluent solution that reaches the wrong
+    number (or never states one) is subtly wrong, matching the paper's
+    Fig. 7 taxonomy.
+    """
+    if predicted_answer is not None and predicted_answer == reference_answer:
+        return Outcome.MASKED
+    if is_distorted(output_text):
+        return Outcome.SDC_DISTORTED
+    return Outcome.SDC_SUBTLE
+
+
+def classify_generative(
+    output_text: str, baseline_text: str, reference_text: str
+) -> Outcome:
+    """Classify a quality-metric (translation/summarization/QA) run.
+
+    A run is Masked when it reproduces the fault-free output; otherwise
+    it is an SDC, distorted or subtle by text structure.
+    """
+    if output_text == baseline_text:
+        return Outcome.MASKED
+    if is_distorted(output_text, reference_text):
+        return Outcome.SDC_DISTORTED
+    return Outcome.SDC_SUBTLE

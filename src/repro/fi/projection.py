@@ -1,0 +1,92 @@
+"""Deployment-level SDC rate projection from campaign statistics.
+
+The paper motivates its study with HPC reliability economics: soft
+errors strike at some device-level rate, and what operators need is the
+*application-level* consequence.  This module performs the standard
+AVF-style projection: combine a campaign's conditional SDC probability
+P(SDC | fault hits an FI-targeted bit) with a raw fault rate and the
+model's storage footprint to estimate SDCs per unit time.
+
+FIT (Failures In Time) is the conventional unit: events per 10^9
+device-hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fi.campaign import CampaignResult
+from repro.numerics.stats import wilson_interval
+
+__all__ = ["SDCProjection", "project_sdc_rate", "HOURS_PER_FIT"]
+
+HOURS_PER_FIT = 1e9
+
+
+@dataclass(frozen=True)
+class SDCProjection:
+    """Projected application-level silent-corruption rate."""
+
+    p_sdc_given_fault: float
+    p_sdc_low: float
+    p_sdc_high: float
+    faults_per_hour: float
+    protected_bits: int
+
+    @property
+    def sdc_per_hour(self) -> float:
+        """Expected SDCs per hour of continuous inference."""
+        return self.p_sdc_given_fault * self.faults_per_hour
+
+    @property
+    def sdc_fit(self) -> float:
+        """SDC rate in FIT (events per 10^9 hours)."""
+        return self.sdc_per_hour * HOURS_PER_FIT
+
+    @property
+    def mtbf_hours(self) -> float:
+        """Mean time between silent corruptions, in hours."""
+        rate = self.sdc_per_hour
+        return float("inf") if rate == 0 else 1.0 / rate
+
+    def interval_fit(self) -> tuple[float, float]:
+        """95% interval on the FIT estimate (from the campaign CI)."""
+        scale = self.faults_per_hour * HOURS_PER_FIT
+        return self.p_sdc_low * scale, self.p_sdc_high * scale
+
+
+def project_sdc_rate(
+    result: CampaignResult,
+    bit_fit_rate: float,
+    n_weight_bits: int,
+) -> SDCProjection:
+    """Project a campaign's SDC probability to deployment scale.
+
+    Parameters
+    ----------
+    result:
+        A completed memory-fault campaign; its trials estimate
+        P(SDC | a fault lands in an FI-targeted weight bit).
+    bit_fit_rate:
+        Raw per-bit upset rate in FIT (events per bit per 10^9 hours).
+        Field studies put uncorrectable-error-producing rates around
+        1e-5..1e-3 FIT/bit depending on altitude and technology.
+    n_weight_bits:
+        Total stored bits across the FI-targeted weights (e.g.
+        ``n_params * 16`` for BF16 block linears).
+    """
+    if bit_fit_rate < 0 or n_weight_bits <= 0:
+        raise ValueError("fault rate must be >= 0 and bit count positive")
+    if not result.trials:
+        raise ValueError("campaign has no trials to project from")
+    sdcs = sum(t.outcome.is_sdc for t in result.trials)
+    n = len(result.trials)
+    low, high = wilson_interval(sdcs, n)
+    faults_per_hour = bit_fit_rate * n_weight_bits / HOURS_PER_FIT
+    return SDCProjection(
+        p_sdc_given_fault=sdcs / n,
+        p_sdc_low=low,
+        p_sdc_high=high,
+        faults_per_hour=faults_per_hour,
+        protected_bits=n_weight_bits,
+    )

@@ -1,0 +1,126 @@
+"""Fault-site addressing and uniform statistical sampling (paper §3.2).
+
+A fault-injection target is identified exactly the way the paper
+specifies: block ID, layer ID (the type of linear layer), a weight or
+neuron position inside the target tensor, the flipped bit positions,
+and — for computational faults in generative tasks — the token
+generation iteration during which the fault strikes.
+
+Sampling is uniform over the FI-targetable linear layers of the model
+("statistical fault injection"): block uniform, layer type uniform,
+position uniform within the tensor, bit positions uniform without
+replacement over the storage width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.fi.fault_models import FaultModel
+from repro.inference.engine import InferenceEngine
+
+__all__ = ["FaultSite", "sample_site", "LayerFilter"]
+
+LayerFilter = Callable[[str], bool]
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One fully resolved fault-injection location."""
+
+    fault_model: FaultModel
+    layer_name: str
+    """Full layer name, e.g. ``"blocks.3.up_proj"``."""
+    row: int
+    col: int
+    """Weight coordinates (memory faults) or the output neuron/token
+    position (computational faults; ``row`` is a fraction index over
+    output rows, resolved at hook time via :attr:`row_frac`)."""
+    bits: tuple[int, ...]
+    iteration: int = 0
+    """Token generation iteration for computational faults (0 = prefill)."""
+    row_frac: float = 0.0
+    """For computational faults: fraction in [0, 1) mapping to a token
+    row of the (iteration-dependent) output tensor."""
+
+    @property
+    def block(self) -> int:
+        """Decoder-block index parsed from the layer name."""
+        return int(self.layer_name.split(".")[1])
+
+    @property
+    def layer_type(self) -> str:
+        """Layer name without the block prefix (e.g. ``up_proj``)."""
+        return self.layer_name.split(".", 2)[2]
+
+    @property
+    def highest_bit(self) -> int:
+        """The most significant flipped bit (Figs 9/10 group by this)."""
+        return max(self.bits)
+
+
+def _sample_bits(
+    rng: np.random.Generator, n_bits: int, width: int
+) -> tuple[int, ...]:
+    return tuple(int(b) for b in rng.choice(width, size=n_bits, replace=False))
+
+
+def sample_site(
+    engine: InferenceEngine,
+    fault_model: FaultModel,
+    rng: np.random.Generator,
+    max_iterations: int = 1,
+    layer_filter: LayerFilter | None = None,
+) -> FaultSite:
+    """Draw one uniform fault site for ``fault_model`` on ``engine``.
+
+    Parameters
+    ----------
+    max_iterations:
+        Upper bound (exclusive) for the token-generation iteration a
+        computational fault strikes in; pass the task's
+        ``max_new_tokens`` for generative tasks and 1 for
+        multiple-choice (single forward pass).
+    layer_filter:
+        Optional predicate restricting target layers (e.g. only MoE
+        ``router`` layers for the paper's Fig. 15 gate-layer study).
+    """
+    layers = engine.linear_layer_names()
+    if layer_filter is not None:
+        layers = [name for name in layers if layer_filter(name)]
+    if not layers:
+        raise ValueError("layer filter excluded every fault-targetable layer")
+    # Uniform over blocks first, then layer types within the block,
+    # following the paper's two-stage selection.
+    blocks = sorted({name.split(".")[1] for name in layers})
+    block = blocks[int(rng.integers(0, len(blocks)))]
+    in_block = [n for n in layers if n.split(".")[1] == block]
+    layer_name = in_block[int(rng.integers(0, len(in_block)))]
+
+    store = engine.weight_store(layer_name)
+    rows, cols = store.shape
+    if fault_model.is_memory:
+        return FaultSite(
+            fault_model=fault_model,
+            layer_name=layer_name,
+            row=int(rng.integers(0, rows)),
+            col=int(rng.integers(0, cols)),
+            bits=_sample_bits(rng, fault_model.n_bits, store.n_storage_bits),
+        )
+    # Computational fault: neuron = output column; the activation is
+    # corrupted in the engine's activation float format.
+    from repro.numerics.formats import get_format
+
+    width = get_format(engine.activation_format).bits
+    return FaultSite(
+        fault_model=fault_model,
+        layer_name=layer_name,
+        row=0,
+        col=int(rng.integers(0, cols)),
+        bits=_sample_bits(rng, fault_model.n_bits, width),
+        iteration=int(rng.integers(0, max(1, max_iterations))),
+        row_frac=float(rng.random()),
+    )

@@ -1,0 +1,19 @@
+"""Decoding strategies: greedy / beam search / option scoring."""
+
+from repro.generation.decode import (
+    GenerationConfig,
+    beam_search_decode,
+    choose_option,
+    generate_ids,
+    greedy_decode,
+    score_continuation,
+)
+
+__all__ = [
+    "GenerationConfig",
+    "beam_search_decode",
+    "choose_option",
+    "generate_ids",
+    "greedy_decode",
+    "score_continuation",
+]

@@ -1,0 +1,175 @@
+"""Decoding strategies: greedy search, beam search, option scoring.
+
+The paper's generation settings (§3.3.4) use HuggingFace ``generate()``
+with sampling disabled; greedy search is ``num_beams=1``.  Beam search
+maintains ``num_beams`` candidate sequences ranked by cumulative
+(length-normalized) log-probability — the mechanism behind
+Observation #9: an isolated corrupted token tanks one hypothesis'
+cumulative probability and the search shifts to an unaffected path.
+
+Multiple-choice tasks are scored, not generated: each option is
+appended to the prompt and the option tokens' summed log-likelihood
+ranks the candidates (§3.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.functional import log_softmax_np
+from repro.inference.engine import InferenceEngine, Session
+
+__all__ = [
+    "GenerationConfig",
+    "greedy_decode",
+    "beam_search_decode",
+    "generate_ids",
+    "score_continuation",
+    "choose_option",
+]
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Decoding hyperparameters (mirrors the paper's generate() settings)."""
+
+    max_new_tokens: int = 32
+    num_beams: int = 1
+    length_penalty: float = 1.0
+    eos_id: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if self.num_beams < 1:
+            raise ValueError("num_beams must be >= 1")
+
+
+def greedy_decode(
+    engine: InferenceEngine, prompt_ids: list[int], config: GenerationConfig
+) -> list[int]:
+    """Argmax decoding; returns generated ids (without the prompt/EOS)."""
+    session = engine.start_session(prompt_ids)
+    out: list[int] = []
+    logits = session.last_logits
+    for _ in range(config.max_new_tokens):
+        # NaN-safe argmax: corrupted runs can produce all-NaN logits,
+        # which we map to EOS-free garbage deterministically.
+        token = int(np.nanargmax(logits)) if not np.isnan(logits).all() else 0
+        if token == config.eos_id:
+            break
+        out.append(token)
+        logits = session.step(token)
+    return out
+
+
+@dataclass
+class _Beam:
+    session: Session
+    tokens: list[int]
+    score: float
+    finished: bool
+
+    def normalized(self, length_penalty: float) -> float:
+        length = max(1, len(self.tokens))
+        return self.score / length**length_penalty
+
+
+def beam_search_decode(
+    engine: InferenceEngine, prompt_ids: list[int], config: GenerationConfig
+) -> list[int]:
+    """Standard beam search with length normalization."""
+    k = config.num_beams
+    root = engine.start_session(prompt_ids)
+    beams = [_Beam(root, [], 0.0, False)]
+    for _ in range(config.max_new_tokens):
+        candidates: list[tuple[float, _Beam, int, float]] = []
+        for beam in beams:
+            if beam.finished:
+                candidates.append(
+                    (beam.normalized(config.length_penalty), beam, -1, beam.score)
+                )
+                continue
+            logp = log_softmax_np(
+                np.nan_to_num(
+                    beam.session.last_logits, nan=-1e9, posinf=1e9, neginf=-1e9
+                )
+            )
+            top = np.argpartition(logp, -k)[-k:]
+            for token in top:
+                score = beam.score + float(logp[token])
+                length = max(1, len(beam.tokens) + 1)
+                candidates.append(
+                    (score / length**config.length_penalty, beam, int(token), score)
+                )
+        candidates.sort(key=lambda c: c[0], reverse=True)
+        next_beams: list[_Beam] = []
+        forks: dict[int, int] = {}
+        for norm_score, beam, token, raw_score in candidates:
+            if len(next_beams) == k:
+                break
+            if token == -1:
+                next_beams.append(beam)
+                continue
+            # Fork lazily: the first extension of a beam reuses its
+            # session; later extensions need a cache copy.
+            uses = forks.get(id(beam), 0)
+            forks[id(beam)] = uses + 1
+            session = beam.session if uses == 0 else beam.session.fork()
+            new = _Beam(session, [*beam.tokens, token], raw_score, False)
+            if token == config.eos_id:
+                new.tokens = beam.tokens  # EOS terminates, not emitted
+                new.finished = True
+            next_beams.append(new)
+        # Advance the sessions of unfinished beams that gained a token.
+        # (Do it after selection, and handle shared sessions: when one
+        # base beam spawned several children the *first* child kept the
+        # original session, so it must step before forks are stale.)
+        beams = next_beams
+        for beam in beams:
+            if not beam.finished and beam.tokens:
+                if beam.session.position == len(prompt_ids) + len(beam.tokens) - 1:
+                    beam.session.step(beam.tokens[-1])
+        if all(b.finished for b in beams):
+            break
+    best = max(beams, key=lambda b: b.normalized(config.length_penalty))
+    return best.tokens
+
+
+def generate_ids(
+    engine: InferenceEngine, prompt_ids: list[int], config: GenerationConfig
+) -> list[int]:
+    """Dispatch to greedy or beam decoding based on ``num_beams``."""
+    if config.num_beams == 1:
+        return greedy_decode(engine, prompt_ids, config)
+    return beam_search_decode(engine, prompt_ids, config)
+
+
+def score_continuation(
+    engine: InferenceEngine, prompt_ids: list[int], option_ids: list[int]
+) -> float:
+    """Summed log-likelihood of ``option_ids`` following ``prompt_ids``."""
+    if not option_ids:
+        raise ValueError("option must contain at least one token")
+    full = [*prompt_ids, *option_ids]
+    logits = engine.forward_full(full)
+    logp = log_softmax_np(
+        np.nan_to_num(logits, nan=-1e9, posinf=1e9, neginf=-1e9), axis=-1
+    )
+    start = len(prompt_ids) - 1
+    positions = np.arange(start, start + len(option_ids))
+    return float(logp[positions, option_ids].sum())
+
+
+def choose_option(
+    engine: InferenceEngine,
+    prompt_ids: list[int],
+    options_ids: list[list[int]],
+) -> int:
+    """Index of the highest-likelihood option (multiple-choice answer)."""
+    scores = [
+        score_continuation(engine, prompt_ids, option) for option in options_ids
+    ]
+    return int(np.argmax(scores))

@@ -1,0 +1,65 @@
+"""Experiment result containers and text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: labelled rows of named columns."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        """Append one table row from keyword columns."""
+        self.rows.append(row)
+
+    def column(self, name: str) -> list:
+        """Values of one column across all rows."""
+        return [row.get(name) for row in self.rows]
+
+    def note(self, text: str) -> None:
+        """Attach a footnote rendered under the table."""
+        self.notes.append(text)
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render rows as an aligned text table (the paper's rows/series)."""
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    if result.rows:
+        columns: list[str] = []
+        for row in result.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        rendered = [
+            [_fmt(row.get(col, "")) for col in columns] for row in result.rows
+        ]
+        widths = [
+            max(len(col), *(len(r[i]) for r in rendered))
+            for i, col in enumerate(columns)
+        ]
+        header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in rendered:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,321 @@
+"""Fast NumPy inference engine with hooks, KV cache and storage policies.
+
+This is the system under test for every fault-injection experiment:
+a vectorised, allocation-light forward pass over a trained
+:class:`~repro.model.params.ParamStore`, exposing
+
+* **weight stores** — per-linear-layer storage policies whose stored
+  bits can be flipped (memory faults, Figs 5/17/21);
+* **forward hooks** — interception of each linear layer's output
+  tensor (computational faults, Fig. 6);
+* **activation capture** — per-layer output snapshots for the
+  propagation-trace experiments (Figs 5/6) and MoE expert-selection
+  records (Fig. 15);
+* **sessions** — incremental decoding with a KV cache and a
+  generation-iteration counter, so faults can be timed to a specific
+  token-generation iteration exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.functional import rms_norm_np, silu_np, softmax_np
+from repro.inference.hooks import HookContext, HookManager
+from repro.inference.kvcache import KVCache
+from repro.inference.storage import WeightStore, make_weight_store
+from repro.model.config import ModelConfig
+from repro.model.params import ParamStore
+from repro.model.transformer import rope_tables
+
+__all__ = ["InferenceEngine", "Session", "CaptureState"]
+
+
+@dataclass
+class CaptureState:
+    """Recorded layer outputs and expert selections for one forward."""
+
+    layer_outputs: dict[str, np.ndarray] = field(default_factory=dict)
+    expert_selections: dict[tuple[int, int], np.ndarray] = field(default_factory=dict)
+    """Maps ``(iteration, block)`` -> ``(tokens, top_k)`` expert indices."""
+
+
+class InferenceEngine:
+    """Decoder-only transformer forward pass over faultable weights."""
+
+    def __init__(
+        self,
+        store: ParamStore,
+        weight_policy: str = "fp32",
+        activation_format: str | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        store:
+            Trained parameters (shared naming scheme with the trainer).
+        weight_policy:
+            Storage policy for the FI-targetable linear layers:
+            ``fp32``/``fp16``/``bf16``/``int8``/``int4``.
+        activation_format:
+            Float format that computational faults corrupt activations
+            in.  Defaults to the weight policy when it is a float
+            format, else ``fp32``.  (Injection helpers read this; the
+            engine itself always computes in float32.)
+        """
+        self.config: ModelConfig = store.config
+        self.weight_policy = weight_policy
+        if activation_format is None:
+            activation_format = (
+                weight_policy if weight_policy in ("fp32", "fp16", "bf16") else "fp32"
+            )
+        self.activation_format = activation_format
+        self.hooks = HookManager()
+        self.capture: CaptureState | None = None
+
+        # FI-targetable linear layers go behind storage policies; the
+        # rest (norm gains, embeddings, lm_head) stay plain float32,
+        # matching the paper's restriction of faults to block linears.
+        self._stores: dict[str, WeightStore] = {}
+        self._plain: dict[str, np.ndarray] = {}
+        faultable = set(store.linear_layer_names())
+        for name, array in store.items():
+            base = name[: -len(".weight")] if name.endswith(".weight") else name
+            if base in faultable:
+                self._stores[base] = make_weight_store(array, weight_policy)
+            else:
+                self._plain[name] = np.ascontiguousarray(array, dtype=np.float32)
+
+        self._cos, self._sin = rope_tables(
+            self.config.head_dim, self.config.max_seq, self.config.rope_theta
+        )
+
+    # -- weight access ---------------------------------------------------------
+
+    def weight_store(self, layer_name: str) -> WeightStore:
+        """The storage policy behind a faultable linear layer."""
+        try:
+            return self._stores[layer_name]
+        except KeyError as exc:
+            raise KeyError(
+                f"{layer_name!r} is not a fault-targetable linear layer;"
+                f" known: {sorted(self._stores)[:4]}..."
+            ) from exc
+
+    def linear_layer_names(self) -> list[str]:
+        return list(self._stores)
+
+    def _w(self, layer_name: str) -> np.ndarray:
+        return self._stores[layer_name].array
+
+    # -- forward ----------------------------------------------------------------
+
+    def _emit(
+        self, output: np.ndarray, block: int, layer: str, iteration: int
+    ) -> np.ndarray:
+        """Capture + hook a layer output."""
+        full = f"blocks.{block}.{layer}"
+        if self.hooks.has(full):
+            output = self.hooks.apply(
+                output, HookContext(block, layer, iteration, full)
+            )
+        if self.capture is not None:
+            # Captured after hooks so propagation traces see injected
+            # computational faults in the injected layer's own output.
+            self.capture.layer_outputs[full] = output.copy()
+        return output
+
+    def _attention(
+        self,
+        x: np.ndarray,
+        block: int,
+        cache: KVCache,
+        start_pos: int,
+        iteration: int,
+    ) -> np.ndarray:
+        cfg = self.config
+        prefix = f"blocks.{block}."
+        t = x.shape[0]
+        heads, hd = cfg.n_heads, cfg.head_dim
+
+        q = self._emit(x @ self._w(prefix + "q_proj"), block, "q_proj", iteration)
+        k = self._emit(x @ self._w(prefix + "k_proj"), block, "k_proj", iteration)
+        v = self._emit(x @ self._w(prefix + "v_proj"), block, "v_proj", iteration)
+
+        # (t, D) -> (heads, t, hd)
+        q = q.reshape(t, heads, hd).transpose(1, 0, 2)
+        k = k.reshape(t, heads, hd).transpose(1, 0, 2)
+        v = v.reshape(t, heads, hd).transpose(1, 0, 2)
+
+        cos = self._cos[start_pos : start_pos + t]
+        sin = self._sin[start_pos : start_pos + t]
+
+        def rot(a: np.ndarray) -> np.ndarray:
+            half = hd // 2
+            rotated = np.concatenate([-a[..., half:], a[..., :half]], axis=-1)
+            return a * cos + rotated * sin
+
+        q, k = rot(q), rot(k)
+        cache.append(k, v)
+        keys, values = cache.keys(), cache.values()
+        scores = (q @ keys.swapaxes(-1, -2)) * (hd**-0.5)
+        if t > 1:
+            # Causal mask within the new chunk: new token i may attend
+            # to absolute positions <= start_pos + i.
+            total = cache.length
+            pos = np.arange(total)
+            allowed = pos[None, :] <= (start_pos + np.arange(t))[:, None]
+            scores = np.where(allowed[None], scores, np.float32(-1e9))
+        attn = softmax_np(scores, axis=-1)
+        ctx = (attn @ values).transpose(1, 0, 2).reshape(t, cfg.d_model)
+        return self._emit(
+            ctx @ self._w(prefix + "out_proj"), block, "out_proj", iteration
+        )
+
+    def _mlp(
+        self, h: np.ndarray, block: int, iteration: int, expert: int | None = None
+    ) -> np.ndarray:
+        prefix = f"blocks.{block}."
+        tag = "" if expert is None else f"experts.{expert}."
+        gate = self._emit(
+            h @ self._w(prefix + tag + "gate_proj"),
+            block,
+            tag + "gate_proj",
+            iteration,
+        )
+        up = self._emit(
+            h @ self._w(prefix + tag + "up_proj"), block, tag + "up_proj", iteration
+        )
+        out = silu_np(gate) * up
+        return self._emit(
+            out @ self._w(prefix + tag + "down_proj"),
+            block,
+            tag + "down_proj",
+            iteration,
+        )
+
+    def _moe(self, h: np.ndarray, block: int, iteration: int) -> np.ndarray:
+        cfg = self.config
+        prefix = f"blocks.{block}."
+        router_logits = self._emit(
+            h @ self._w(prefix + "router"), block, "router", iteration
+        )
+        t = h.shape[0]
+        k = cfg.top_k
+        top = np.argpartition(router_logits, -k, axis=-1)[:, -k:]
+        # Order selected experts by descending logit for stable records.
+        order = np.argsort(
+            np.take_along_axis(router_logits, top, axis=-1), axis=-1
+        )[:, ::-1]
+        top = np.take_along_axis(top, order, axis=-1)
+        if self.capture is not None:
+            self.capture.expert_selections[(iteration, block)] = top.copy()
+        gates = softmax_np(
+            np.take_along_axis(router_logits, top, axis=-1), axis=-1
+        )
+        out = np.zeros_like(h)
+        for e in range(cfg.n_experts):
+            slot_mask = top == e  # (t, k)
+            rows = np.nonzero(slot_mask.any(axis=-1))[0]
+            if rows.size == 0:
+                continue
+            expert_out = self._mlp(h[rows], block, iteration, expert=e)
+            weight = (gates[rows] * slot_mask[rows]).sum(axis=-1, keepdims=True)
+            out[rows] += expert_out * weight
+        return out
+
+    def forward(
+        self,
+        tokens: np.ndarray | list[int],
+        caches: list[KVCache],
+        start_pos: int,
+        iteration: int,
+    ) -> np.ndarray:
+        """Run ``tokens`` (a chunk) through the model, filling ``caches``.
+
+        Returns logits of shape ``(len(tokens), vocab)``.
+        """
+        cfg = self.config
+        ids = np.asarray(tokens, dtype=np.int64)
+        # Corrupted weights legitimately overflow float32 (an MSB
+        # exponent flip scales a value by ~2^128); inf/nan propagation
+        # *is* the studied behaviour, so silence the warnings.
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            return self._forward_impl(ids, caches, start_pos, iteration)
+
+    def _forward_impl(
+        self,
+        ids: np.ndarray,
+        caches: list[KVCache],
+        start_pos: int,
+        iteration: int,
+    ) -> np.ndarray:
+        cfg = self.config
+        x = self._plain["embed.weight"][ids]
+        for b in range(cfg.n_blocks):
+            prefix = f"blocks.{b}."
+            h = rms_norm_np(
+                x, self._plain[prefix + "attn_norm.weight"], cfg.norm_eps
+            )
+            x = x + self._attention(h, b, caches[b], start_pos, iteration)
+            h = rms_norm_np(x, self._plain[prefix + "mlp_norm.weight"], cfg.norm_eps)
+            if cfg.is_moe:
+                x = x + self._moe(h, b, iteration)
+            else:
+                x = x + self._mlp(h, b, iteration)
+        x = rms_norm_np(x, self._plain["final_norm.weight"], cfg.norm_eps)
+        return x @ self._plain["lm_head.weight"]
+
+    def new_caches(self) -> list[KVCache]:
+        cfg = self.config
+        return [
+            KVCache(cfg.n_heads, cfg.max_seq, cfg.head_dim)
+            for _ in range(cfg.n_blocks)
+        ]
+
+    def forward_full(self, tokens: np.ndarray | list[int]) -> np.ndarray:
+        """Single full-sequence forward (option scoring / prefill-only).
+
+        This is generation iteration 0.
+        """
+        return self.forward(tokens, self.new_caches(), start_pos=0, iteration=0)
+
+    def start_session(self, prompt: list[int]) -> "Session":
+        """Prefill a prompt and return an incremental decoding session."""
+        return Session(self, prompt)
+
+
+class Session:
+    """Incremental decoding state: KV caches + iteration counter."""
+
+    def __init__(self, engine: InferenceEngine, prompt: list[int]) -> None:
+        if not prompt:
+            raise ValueError("prompt must contain at least one token")
+        self.engine = engine
+        self.caches = engine.new_caches()
+        self.iteration = 0
+        logits = engine.forward(prompt, self.caches, start_pos=0, iteration=0)
+        self.last_logits: np.ndarray = logits[-1]
+        self.position = len(prompt)
+
+    def step(self, token: int) -> np.ndarray:
+        """Feed one generated token; returns logits for the next one."""
+        self.iteration += 1
+        logits = self.engine.forward(
+            [token], self.caches, start_pos=self.position, iteration=self.iteration
+        )
+        self.position += 1
+        self.last_logits = logits[-1]
+        return self.last_logits
+
+    def fork(self) -> "Session":
+        """Clone the session (caches deep-copied) for beam search."""
+        clone = Session.__new__(Session)
+        clone.engine = self.engine
+        clone.caches = [c.clone() for c in self.caches]
+        clone.iteration = self.iteration
+        clone.position = self.position
+        clone.last_logits = self.last_logits.copy()
+        return clone

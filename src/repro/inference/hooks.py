@@ -1,0 +1,73 @@
+"""Forward-hook mechanism mirroring ``torch.nn.Module`` hooks.
+
+The paper injects computational faults through PyTorch forward hooks:
+"the hook function modifies the output tensor and the modified version
+is used in the following data path."  Our engine calls every registered
+hook with the freshly computed output of the named linear layer; a hook
+may return a replacement array (or mutate in place and return None).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["HookContext", "HookFn", "HookManager"]
+
+
+@dataclass(frozen=True)
+class HookContext:
+    """Where and when a layer output was produced.
+
+    ``iteration`` counts token-generation iterations: the prompt
+    prefill is iteration 0 and each subsequently generated token
+    increments it — the granularity at which the paper samples
+    computational-fault timing.
+    """
+
+    block: int
+    layer: str
+    iteration: int
+    full_name: str
+
+
+HookFn = Callable[[np.ndarray, HookContext], "np.ndarray | None"]
+
+
+class HookManager:
+    """Registry of output hooks keyed by full layer name."""
+
+    def __init__(self) -> None:
+        self._hooks: dict[str, list[HookFn]] = {}
+
+    def register(self, layer_name: str, fn: HookFn) -> Callable[[], None]:
+        """Attach ``fn`` to a layer; returns a detach handle."""
+        self._hooks.setdefault(layer_name, []).append(fn)
+
+        def remove() -> None:
+            callbacks = self._hooks.get(layer_name, [])
+            if fn in callbacks:
+                callbacks.remove(fn)
+                if not callbacks:
+                    del self._hooks[layer_name]
+
+        return remove
+
+    def clear(self) -> None:
+        self._hooks.clear()
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._hooks.values())
+
+    def has(self, layer_name: str) -> bool:
+        return layer_name in self._hooks
+
+    def apply(self, output: np.ndarray, ctx: HookContext) -> np.ndarray:
+        """Run all hooks for ``ctx.full_name`` over ``output`` in order."""
+        for fn in self._hooks.get(ctx.full_name, ()):  # fast path: empty
+            replacement = fn(output, ctx)
+            if replacement is not None:
+                output = replacement
+        return output

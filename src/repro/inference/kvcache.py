@@ -1,0 +1,59 @@
+"""Per-block key/value cache for incremental decoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KVCache"]
+
+
+class KVCache:
+    """Pre-allocated rolling K/V store for one transformer block.
+
+    Shapes are ``(n_heads, max_seq, head_dim)``; ``length`` tracks the
+    filled prefix.  Appending is an in-place slice write (no copies, no
+    reallocation), following the buffer-reuse guidance for numerical
+    Python.
+    """
+
+    def __init__(self, n_heads: int, max_seq: int, head_dim: int) -> None:
+        self.k = np.zeros((n_heads, max_seq, head_dim), dtype=np.float32)
+        self.v = np.zeros((n_heads, max_seq, head_dim), dtype=np.float32)
+        self.length = 0
+
+    @property
+    def max_seq(self) -> int:
+        return self.k.shape[1]
+
+    def append(self, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Append ``(n_heads, t, head_dim)`` keys/values for new tokens."""
+        t = k_new.shape[1]
+        if self.length + t > self.max_seq:
+            raise ValueError(
+                f"KV cache overflow: {self.length} + {t} > {self.max_seq}"
+            )
+        self.k[:, self.length : self.length + t] = k_new
+        self.v[:, self.length : self.length + t] = v_new
+        self.length += t
+
+    def keys(self) -> np.ndarray:
+        """View of the filled keys, shape ``(n_heads, length, head_dim)``."""
+        return self.k[:, : self.length]
+
+    def values(self) -> np.ndarray:
+        """View of the filled values, shape ``(n_heads, length, head_dim)``."""
+        return self.v[:, : self.length]
+
+    def truncate(self, length: int) -> None:
+        """Roll back to a shorter prefix (used by beam search forks)."""
+        if not 0 <= length <= self.length:
+            raise ValueError(f"cannot truncate cache of {self.length} to {length}")
+        self.length = length
+
+    def clone(self) -> "KVCache":
+        """Deep copy (beam search keeps one cache per hypothesis)."""
+        out = KVCache(self.k.shape[0], self.max_seq, self.k.shape[2])
+        out.k[:, : self.length] = self.keys()
+        out.v[:, : self.length] = self.values()
+        out.length = self.length
+        return out

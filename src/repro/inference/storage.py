@@ -1,0 +1,161 @@
+"""Weight-storage policies: how parameters live in (faultable) memory.
+
+The paper's memory fault model flips bits in a weight *as stored*:
+BF16/FP16/FP32 bit patterns for the dtype study (Fig. 21) and integer
+codes for the GPTQ-quantized study (Fig. 17).  A storage policy owns
+the stored representation, exposes a float32 ``array`` for compute
+(GPU-style wide accumulation), and implements bit flips on the stored
+form with exact restoration — campaigns flip the same bits back after
+every run so each trial starts from a pristine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.numerics.formats import (
+    FloatFormat,
+    flip_bits,
+    from_bits,
+    get_format,
+    to_bits,
+)
+from repro.numerics.quantized import QuantizedMatrix, quantize_matrix
+
+__all__ = [
+    "RestoreToken",
+    "WeightStore",
+    "FloatWeightStore",
+    "QuantizedWeightStore",
+    "make_weight_store",
+]
+
+
+@dataclass(frozen=True)
+class RestoreToken:
+    """Opaque receipt for undoing a weight corruption."""
+
+    row: int
+    col: int
+    stored_value: object  # raw bit pattern (float store) or code (quantized)
+    compute_value: float
+
+
+class WeightStore(Protocol):
+    """Protocol implemented by every storage policy."""
+
+    @property
+    def array(self) -> np.ndarray:
+        """Float32 view used by compute (already dequantized/rounded)."""
+
+    @property
+    def shape(self) -> tuple[int, int]: ...
+
+    @property
+    def n_storage_bits(self) -> int:
+        """Bit width of one stored element (fault-site address space)."""
+
+    def flip_element_bits(
+        self, row: int, col: int, positions: list[int]
+    ) -> RestoreToken: ...
+
+    def restore(self, token: RestoreToken) -> None: ...
+
+
+class FloatWeightStore:
+    """Weights stored as FP32/FP16/BF16 bit patterns.
+
+    The compute array holds the format-rounded float32 values; flips
+    act on the stored integer patterns and update the compute array in
+    place, so downstream matmuls see the corruption with no copies.
+    """
+
+    def __init__(self, weight: np.ndarray, fmt: str | FloatFormat = "fp32") -> None:
+        self.fmt = get_format(fmt)
+        self._bits = to_bits(np.asarray(weight, np.float32), self.fmt)
+        self._array = from_bits(self._bits, self.fmt)
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._array
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._array.shape  # type: ignore[return-value]
+
+    @property
+    def n_storage_bits(self) -> int:
+        return self.fmt.bits
+
+    def flip_element_bits(
+        self, row: int, col: int, positions: list[int]
+    ) -> RestoreToken:
+        old_bits = self._bits[row, col]
+        token = RestoreToken(row, col, old_bits, float(self._array[row, col]))
+        new_bits = flip_bits(
+            np.asarray(old_bits)[None], positions, self.fmt
+        )[0]
+        self._bits[row, col] = new_bits
+        self._array[row, col] = from_bits(np.asarray(new_bits)[None], self.fmt)[0]
+        return token
+
+    def restore(self, token: RestoreToken) -> None:
+        self._bits[token.row, token.col] = token.stored_value
+        self._array[token.row, token.col] = token.compute_value
+
+
+class QuantizedWeightStore:
+    """Weights stored as GPTQ-style group-quantized integer codes."""
+
+    def __init__(
+        self, weight: np.ndarray, nbits: int, group_size: int = 32
+    ) -> None:
+        self.quantized: QuantizedMatrix = quantize_matrix(
+            weight, nbits=nbits, group_size=group_size
+        )
+        self._array = self.quantized.dequantize()
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._array
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.quantized.shape
+
+    @property
+    def n_storage_bits(self) -> int:
+        return self.quantized.nbits
+
+    def flip_element_bits(
+        self, row: int, col: int, positions: list[int]
+    ) -> RestoreToken:
+        token = RestoreToken(row, col, None, float(self._array[row, col]))
+        old_code = self.quantized.flip_code_bits(row, col, positions)
+        token = RestoreToken(row, col, old_code, token.compute_value)
+        self._array[row, col] = self.quantized.dequantize_element(row, col)
+        return token
+
+    def restore(self, token: RestoreToken) -> None:
+        self.quantized.set_code(token.row, token.col, int(token.stored_value))
+        self._array[token.row, token.col] = token.compute_value
+
+
+def make_weight_store(weight: np.ndarray, policy: str) -> WeightStore:
+    """Build a storage policy by name.
+
+    ``policy`` is one of ``fp32``, ``fp16``, ``bf16``, ``int8``,
+    ``int4`` (the paper's BF16 baseline plus its GPTQ-8bit / GPTQ-4bit
+    variants and the dtype-study formats).
+    """
+    policy = policy.lower()
+    if policy in ("fp32", "fp16", "bf16"):
+        return FloatWeightStore(weight, policy)
+    if policy == "int8":
+        return QuantizedWeightStore(weight, nbits=8)
+    if policy == "int4":
+        return QuantizedWeightStore(weight, nbits=4)
+    raise KeyError(f"unknown storage policy {policy!r}")

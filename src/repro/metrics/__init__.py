@@ -1,0 +1,23 @@
+"""Output-quality metrics (paper Table 1 column 3)."""
+
+from repro.metrics.bleu import bleu, corpus_bleu, ngram_counts
+from repro.metrics.chrf import chrf, chrf_pp
+from repro.metrics.evaluate import METRIC_NAMES, score_generative
+from repro.metrics.rouge import lcs_length, rouge_1, rouge_l
+from repro.metrics.squad_metrics import exact_match, normalize_answer, token_f1
+
+__all__ = [
+    "METRIC_NAMES",
+    "bleu",
+    "chrf",
+    "chrf_pp",
+    "corpus_bleu",
+    "exact_match",
+    "lcs_length",
+    "ngram_counts",
+    "normalize_answer",
+    "rouge_1",
+    "rouge_l",
+    "score_generative",
+    "token_f1",
+]

@@ -1,0 +1,82 @@
+"""Corpus and sentence BLEU (Papineni et al., 2002) with smoothing.
+
+Implements standard BLEU-4: modified n-gram precision with clipping,
+geometric mean over n = 1..4, and the brevity penalty.  Smoothing adds
+1 to numerator and denominator of higher-order precisions when a
+precision would be zero (NIST-style "add-one" smoothing), which is
+essential at the short sentence lengths our synthetic tasks produce.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+__all__ = ["bleu", "corpus_bleu", "ngram_counts"]
+
+
+def ngram_counts(tokens: Sequence[str], n: int) -> Counter:
+    """Multiset of n-grams of order ``n``."""
+    return Counter(tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1))
+
+
+def _precision_stats(
+    hypothesis: Sequence[str], reference: Sequence[str], n: int
+) -> tuple[int, int]:
+    hyp = ngram_counts(hypothesis, n)
+    ref = ngram_counts(reference, n)
+    matched = sum(min(count, ref[gram]) for gram, count in hyp.items())
+    total = max(0, len(hypothesis) - n + 1)
+    return matched, total
+
+
+def corpus_bleu(
+    hypotheses: Sequence[Sequence[str]],
+    references: Sequence[Sequence[str]],
+    max_n: int = 4,
+    smooth: bool = True,
+) -> float:
+    """Corpus-level BLEU over tokenized hypothesis/reference pairs."""
+    if len(hypotheses) != len(references):
+        raise ValueError("hypothesis/reference count mismatch")
+    if not hypotheses:
+        raise ValueError("empty corpus")
+    matched = [0] * max_n
+    total = [0] * max_n
+    hyp_len = 0
+    ref_len = 0
+    for hyp, ref in zip(hypotheses, references):
+        hyp_len += len(hyp)
+        ref_len += len(ref)
+        for n in range(1, max_n + 1):
+            m, t = _precision_stats(hyp, ref, n)
+            matched[n - 1] += m
+            total[n - 1] += t
+    if hyp_len == 0:
+        return 0.0
+    log_precisions = []
+    for n in range(max_n):
+        m, t = matched[n], total[n]
+        if t == 0:
+            # Hypotheses shorter than n: skip this order entirely
+            # (sacrebleu's effective-order behaviour for short sentences).
+            continue
+        if m == 0:
+            if n == 0 or not smooth:
+                # No unigram overlap at all: the score is genuinely 0.
+                return 0.0
+            m, t = 1, t + 1
+        log_precisions.append(math.log(m / t))
+    if not log_precisions:
+        return 0.0
+    geo_mean = math.exp(sum(log_precisions) / len(log_precisions))
+    bp = 1.0 if hyp_len > ref_len else math.exp(1.0 - ref_len / hyp_len)
+    return 100.0 * bp * geo_mean
+
+
+def bleu(
+    hypothesis: Sequence[str], reference: Sequence[str], max_n: int = 4
+) -> float:
+    """Sentence-level smoothed BLEU."""
+    return corpus_bleu([hypothesis], [reference], max_n=max_n, smooth=True)

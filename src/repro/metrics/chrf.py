@@ -1,0 +1,67 @@
+"""chrF++ (Popović, 2017): character n-gram F-score plus word n-grams.
+
+chrF++ averages character n-gram F-scores (n = 1..6) with word n-gram
+F-scores (n = 1..2), using beta = 2 (recall weighted twice as much as
+precision).  This is the paper's second translation metric.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.metrics.bleu import ngram_counts
+
+__all__ = ["chrf_pp", "chrf"]
+
+
+def _fscore(hyp: Counter, ref: Counter, beta: float) -> float | None:
+    """F-beta over two n-gram multisets; None when both are empty."""
+    if not hyp and not ref:
+        return None
+    matched = sum(min(count, ref[gram]) for gram, count in hyp.items())
+    hyp_total = sum(hyp.values())
+    ref_total = sum(ref.values())
+    precision = matched / hyp_total if hyp_total else 0.0
+    recall = matched / ref_total if ref_total else 0.0
+    if precision + recall == 0.0:
+        return 0.0
+    b2 = beta * beta
+    return (1 + b2) * precision * recall / (b2 * precision + recall)
+
+
+def chrf_pp(
+    hypothesis: str,
+    reference: str,
+    char_order: int = 6,
+    word_order: int = 2,
+    beta: float = 2.0,
+) -> float:
+    """chrF++ score in [0, 100] for one hypothesis/reference pair.
+
+    Whitespace is removed for character n-grams (sacrebleu default).
+    """
+    hyp_chars = hypothesis.replace(" ", "")
+    ref_chars = reference.replace(" ", "")
+    hyp_words = hypothesis.split()
+    ref_words = reference.split()
+    scores: list[float] = []
+    for n in range(1, char_order + 1):
+        f = _fscore(
+            ngram_counts(hyp_chars, n), ngram_counts(ref_chars, n), beta
+        )
+        if f is not None:
+            scores.append(f)
+    for n in range(1, word_order + 1):
+        f = _fscore(
+            ngram_counts(hyp_words, n), ngram_counts(ref_words, n), beta
+        )
+        if f is not None:
+            scores.append(f)
+    if not scores:
+        return 0.0
+    return 100.0 * sum(scores) / len(scores)
+
+
+def chrf(hypothesis: str, reference: str) -> float:
+    """Plain chrF (character n-grams only, n = 1..6)."""
+    return chrf_pp(hypothesis, reference, word_order=0)

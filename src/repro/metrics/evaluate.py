@@ -1,0 +1,86 @@
+"""Task-level scoring: map generated outputs to the paper's metrics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.bleu import corpus_bleu
+from repro.metrics.chrf import chrf_pp
+from repro.metrics.rouge import rouge_1, rouge_l
+from repro.metrics.squad_metrics import exact_match, token_f1
+from repro.tasks.base import GenExample
+from repro.tasks.math_task import extract_final_answer
+
+__all__ = ["score_generative", "METRIC_NAMES"]
+
+METRIC_NAMES = (
+    "accuracy",
+    "bleu",
+    "chrf",
+    "rouge1",
+    "rougeL",
+    "exact_match",
+    "f1",
+)
+
+
+def score_generative(
+    metrics: Sequence[str],
+    predictions: Sequence[str],
+    examples: Sequence[GenExample],
+) -> dict[str, float]:
+    """Score generated ``predictions`` against their examples.
+
+    Returns a dict with one entry per requested metric.  Accuracy (the
+    GSM8k metric) compares extracted final answers; the others are
+    text-overlap metrics against ``example.reference``.
+    """
+    if len(predictions) != len(examples):
+        raise ValueError("prediction/example count mismatch")
+    if not predictions:
+        raise ValueError("nothing to score")
+    references = [ex.reference for ex in examples]
+    out: dict[str, float] = {}
+    for metric in metrics:
+        if metric == "accuracy":
+            hits = [
+                float(
+                    extract_final_answer(pred) == ex.meta.get("final_answer")
+                    and ex.meta.get("final_answer") is not None
+                )
+                for pred, ex in zip(predictions, examples)
+            ]
+            out[metric] = 100.0 * float(np.mean(hits))
+        elif metric == "bleu":
+            out[metric] = corpus_bleu(
+                [p.split() for p in predictions], [r.split() for r in references]
+            )
+        elif metric == "chrf":
+            out[metric] = float(
+                np.mean([chrf_pp(p, r) for p, r in zip(predictions, references)])
+            )
+        elif metric == "rouge1":
+            out[metric] = float(
+                np.mean(
+                    [rouge_1(p.split(), r.split()) for p, r in zip(predictions, references)]
+                )
+            )
+        elif metric == "rougeL":
+            out[metric] = float(
+                np.mean(
+                    [rouge_l(p.split(), r.split()) for p, r in zip(predictions, references)]
+                )
+            )
+        elif metric == "exact_match":
+            out[metric] = 100.0 * float(
+                np.mean([exact_match(p, r) for p, r in zip(predictions, references)])
+            )
+        elif metric == "f1":
+            out[metric] = float(
+                np.mean([token_f1(p, r) for p, r in zip(predictions, references)])
+            )
+        else:
+            raise KeyError(f"unknown metric {metric!r}; known: {METRIC_NAMES}")
+    return out

@@ -1,0 +1,56 @@
+"""ROUGE-1 and ROUGE-L (Lin, 2004) for summarization quality.
+
+ROUGE-1 is unigram F1; ROUGE-L is the longest-common-subsequence
+F-measure.  Both are reported as percentages matching the paper's
+XLSum evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["rouge_1", "rouge_l", "lcs_length"]
+
+
+def _f1(matched: int, hyp_total: int, ref_total: int) -> float:
+    if hyp_total == 0 or ref_total == 0:
+        return 0.0
+    precision = matched / hyp_total
+    recall = matched / ref_total
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def rouge_1(hypothesis: Sequence[str], reference: Sequence[str]) -> float:
+    """Unigram overlap F1 in [0, 100]."""
+    hyp = Counter(hypothesis)
+    ref = Counter(reference)
+    matched = sum(min(count, ref[tok]) for tok, count in hyp.items())
+    return 100.0 * _f1(matched, len(hypothesis), len(reference))
+
+
+def lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    """Longest common subsequence length, O(len(a) * len(b)) DP."""
+    if not a or not b:
+        return 0
+    prev = np.zeros(len(b) + 1, dtype=np.int32)
+    curr = np.zeros(len(b) + 1, dtype=np.int32)
+    for token in a:
+        curr[0] = 0
+        for j in range(1, len(b) + 1):
+            if token == b[j - 1]:
+                curr[j] = prev[j - 1] + 1
+            else:
+                curr[j] = max(prev[j], curr[j - 1])
+        prev, curr = curr, prev
+    return int(prev[-1])
+
+
+def rouge_l(hypothesis: Sequence[str], reference: Sequence[str]) -> float:
+    """LCS-based F-measure in [0, 100]."""
+    lcs = lcs_length(hypothesis, reference)
+    return 100.0 * _f1(lcs, len(hypothesis), len(reference))

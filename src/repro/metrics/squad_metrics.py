@@ -1,0 +1,40 @@
+"""SQuAD-style Exact Match and token-level F1 (Rajpurkar et al.)."""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+__all__ = ["normalize_answer", "exact_match", "token_f1"]
+
+_PUNCT = re.compile(r"[^\w\s]")
+_ARTICLES = re.compile(r"\b(a|an|the)\b")
+_WS = re.compile(r"\s+")
+
+
+def normalize_answer(text: str) -> str:
+    """SQuAD answer normalization: lowercase, strip punctuation/articles."""
+    text = text.lower()
+    text = _PUNCT.sub(" ", text)
+    text = _ARTICLES.sub(" ", text)
+    return _WS.sub(" ", text).strip()
+
+
+def exact_match(prediction: str, reference: str) -> float:
+    """1.0 when normalized strings match exactly, else 0.0."""
+    return float(normalize_answer(prediction) == normalize_answer(reference))
+
+
+def token_f1(prediction: str, reference: str) -> float:
+    """Token-overlap F1 in [0, 100] on normalized answers."""
+    pred_tokens = normalize_answer(prediction).split()
+    ref_tokens = normalize_answer(reference).split()
+    if not pred_tokens or not ref_tokens:
+        return 100.0 * float(pred_tokens == ref_tokens)
+    common = Counter(pred_tokens) & Counter(ref_tokens)
+    matched = sum(common.values())
+    if matched == 0:
+        return 0.0
+    precision = matched / len(pred_tokens)
+    recall = matched / len(ref_tokens)
+    return 100.0 * 2 * precision * recall / (precision + recall)

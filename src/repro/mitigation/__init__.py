@@ -1,0 +1,31 @@
+"""Fault-tolerance mechanisms motivated by the paper's conclusions.
+
+The paper is a measurement study; its conclusions prescribe where
+protection is worth spending: memory subsystems over compute
+(Observation #1), fault isolation in inference algorithms, and explicit
+gate-layer protection for MoE (Observation #6).  This package
+implements the corresponding low-cost mechanisms so those prescriptions
+can be evaluated quantitatively on the same campaign machinery:
+
+* :class:`RangeRestrictor` — Ranger-style activation clamping,
+* :class:`WeightGuard` — weight magnitude-envelope scan & scrub,
+* :class:`SelectiveProtection` — golden-copy verify/restore for chosen
+  layers (e.g. MoE routers),
+* :class:`LogitAnomalyDetector` — online distorted-output detection.
+"""
+
+from repro.mitigation.detectors import LogitAnomalyDetector, output_structure_flags
+from repro.mitigation.ranger import LayerRange, RangeRestrictor
+from repro.mitigation.selective import SelectiveProtection, router_layers
+from repro.mitigation.weight_guard import Anomaly, WeightGuard
+
+__all__ = [
+    "Anomaly",
+    "LayerRange",
+    "LogitAnomalyDetector",
+    "RangeRestrictor",
+    "SelectiveProtection",
+    "WeightGuard",
+    "output_structure_flags",
+    "router_layers",
+]

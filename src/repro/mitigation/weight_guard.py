@@ -1,0 +1,80 @@
+"""Weight integrity guard: detect and scrub corrupted stored weights.
+
+Models the software end of memory-fault tolerance the paper motivates
+(Observation #1: memory faults dominate).  At load time the guard
+records a per-layer magnitude envelope; ``scan()`` later flags stored
+weights outside it (a 2-bit flip in a high exponent bit moves a weight
+orders of magnitude out of distribution) and ``scrub()`` repairs them
+by zeroing — the standard low-cost repair, since one zeroed weight in
+thousands is benign while a 2^38-scale one is catastrophic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.inference.engine import InferenceEngine
+
+__all__ = ["Anomaly", "WeightGuard"]
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One out-of-envelope stored weight."""
+
+    layer_name: str
+    row: int
+    col: int
+    value: float
+    threshold: float
+
+
+@dataclass
+class WeightGuard:
+    """Magnitude-envelope scrubber over an engine's weight stores.
+
+    ``headroom`` multiplies each layer's load-time absolute maximum to
+    form the detection threshold; values beyond it are declared
+    corrupted.  False positives are impossible on an unmodified model
+    by construction (every weight was inside its own envelope at
+    profiling time).
+    """
+
+    headroom: float = 4.0
+    thresholds: dict[str, float] = field(default_factory=dict)
+
+    def profile(self, engine: InferenceEngine) -> None:
+        """Record per-layer |w| maxima from the (trusted) current state."""
+        self.thresholds = {
+            name: float(np.abs(engine.weight_store(name).array).max())
+            * self.headroom
+            for name in engine.linear_layer_names()
+        }
+
+    def scan(self, engine: InferenceEngine) -> list[Anomaly]:
+        """Find stored weights outside their layer envelope."""
+        if not self.thresholds:
+            raise RuntimeError("profile() before scan()")
+        anomalies: list[Anomaly] = []
+        for name, threshold in self.thresholds.items():
+            array = engine.weight_store(name).array
+            with np.errstate(invalid="ignore"):
+                mask = ~(np.abs(array) <= threshold)  # catches NaN too
+            for row, col in zip(*np.nonzero(mask)):
+                anomalies.append(
+                    Anomaly(name, int(row), int(col), float(array[row, col]),
+                            threshold)
+                )
+        return anomalies
+
+    def scrub(self, engine: InferenceEngine) -> list[Anomaly]:
+        """Zero out every detected anomaly; returns what was repaired."""
+        anomalies = self.scan(engine)
+        for anomaly in anomalies:
+            store = engine.weight_store(anomaly.layer_name)
+            # Route the repair through the store so quantized/bit-level
+            # backing representations stay consistent.
+            store.array[anomaly.row, anomaly.col] = 0.0
+        return anomalies

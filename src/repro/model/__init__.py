@@ -1,0 +1,23 @@
+"""Model library: configs, parameter store, trainable transformer."""
+
+from repro.model.config import ModelConfig
+from repro.model.params import (
+    LINEAR_LAYER_NAMES,
+    MOE_LINEAR_LAYER_NAMES,
+    ParamStore,
+    block_linear_layers,
+    init_params,
+)
+from repro.model.transformer import TransformerLM, causal_mask, rope_tables
+
+__all__ = [
+    "LINEAR_LAYER_NAMES",
+    "MOE_LINEAR_LAYER_NAMES",
+    "ModelConfig",
+    "ParamStore",
+    "TransformerLM",
+    "block_linear_layers",
+    "causal_mask",
+    "init_params",
+    "rope_tables",
+]

@@ -1,0 +1,76 @@
+"""Model configuration for the Llama-style decoder-only transformer."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = ["ModelConfig"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyperparameters of a decoder-only transformer (Fig. 1 architecture).
+
+    The layer inventory per block matches the paper's Llama diagram:
+    ``q_proj``/``k_proj``/``v_proj``/``out_proj`` in the attention block
+    and ``gate_proj``/``up_proj``/``down_proj`` in the SwiGLU MLP, with
+    RMSNorm before each.  Setting ``n_experts > 0`` replaces the MLP
+    with a Mixture-of-Experts layer (router + ``n_experts`` expert
+    MLPs, ``top_k`` active per token).
+    """
+
+    vocab_size: int
+    d_model: int = 64
+    n_heads: int = 4
+    n_blocks: int = 4
+    d_ff: int = 128
+    max_seq: int = 160
+    rope_theta: float = 10000.0
+    norm_eps: float = 1e-5
+    n_experts: int = 0
+    top_k: int = 2
+    init_gain: float = 1.0
+    family: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"d_model ({self.d_model}) must be divisible by n_heads"
+                f" ({self.n_heads})"
+            )
+        if self.d_model % self.n_heads % 2 == 0 and (self.d_model // self.n_heads) % 2:
+            raise ValueError("head dimension must be even for rotary embeddings")
+        if self.n_experts and not 1 <= self.top_k <= self.n_experts:
+            raise ValueError("top_k must be in [1, n_experts]")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head attention dimension."""
+        return self.d_model // self.n_heads
+
+    @property
+    def is_moe(self) -> bool:
+        """True when the MLP is a Mixture-of-Experts layer."""
+        return self.n_experts > 0
+
+    def n_params(self) -> int:
+        """Exact parameter count of a model with this configuration."""
+        d, f, v = self.d_model, self.d_ff, self.vocab_size
+        attn = 4 * d * d
+        mlp = 3 * d * f
+        norms = 2 * d
+        if self.is_moe:
+            block = attn + norms + d * self.n_experts + self.n_experts * mlp
+        else:
+            block = attn + norms + mlp
+        return v * d + self.n_blocks * block + d + d * v
+
+    def to_json(self) -> str:
+        """Stable JSON form (used in cache keys)."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "ModelConfig":
+        """Inverse of :meth:`to_json`."""
+        return ModelConfig(**json.loads(text))

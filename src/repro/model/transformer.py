@@ -1,0 +1,222 @@
+"""Differentiable decoder-only transformer used for training.
+
+This is the autograd-side twin of the fast inference engine in
+:mod:`repro.inference.engine`: both consume the same
+:class:`~repro.model.params.ParamStore` naming scheme, so a model
+trained here can be handed directly to the inference engine for
+fault-injection campaigns.
+
+Architecture (paper Fig. 1, Llama family): pre-RMSNorm, rotary
+positional embeddings, causal multi-head attention, SwiGLU MLP, with an
+optional Mixture-of-Experts MLP (router + top-k of ``n_experts``
+experts, Mixtral-style) when ``config.n_experts > 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import (
+    Tensor,
+    cross_entropy,
+    rms_norm,
+    rope,
+    silu,
+    softmax,
+)
+from repro.model.config import ModelConfig
+from repro.model.params import ParamStore, init_params
+
+__all__ = ["TransformerLM", "rope_tables", "causal_mask"]
+
+
+def rope_tables(
+    head_dim: int, max_seq: int, theta: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Precompute rotary cos/sin tables of shape ``(max_seq, head_dim)``."""
+    if head_dim % 2:
+        raise ValueError("head_dim must be even for rotary embeddings")
+    inv_freq = theta ** (-np.arange(0, head_dim, 2, dtype=np.float64) / head_dim)
+    angles = np.outer(np.arange(max_seq, dtype=np.float64), inv_freq)
+    angles = np.concatenate([angles, angles], axis=-1)
+    return np.cos(angles).astype(np.float32), np.sin(angles).astype(np.float32)
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Additive attention mask: 0 on/below the diagonal, -1e9 above."""
+    mask = np.full((seq_len, seq_len), -1e9, dtype=np.float32)
+    return np.triu(mask, k=1)
+
+
+class TransformerLM:
+    """Trainable Llama-style language model over a named parameter set."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0) -> None:
+        self.config = config
+        store = init_params(config, seed)
+        self.params: dict[str, Tensor] = {
+            name: Tensor(array, requires_grad=True) for name, array in store.items()
+        }
+        self._cos, self._sin = rope_tables(
+            config.head_dim, config.max_seq, config.rope_theta
+        )
+
+    # -- parameter plumbing ----------------------------------------------------
+
+    @staticmethod
+    def from_store(store: ParamStore) -> "TransformerLM":
+        """Wrap trained weights in a fresh trainable model (copies)."""
+        model = TransformerLM.__new__(TransformerLM)
+        model.config = store.config
+        model.params = {
+            name: Tensor(array.copy(), requires_grad=True)
+            for name, array in store.items()
+        }
+        model._cos, model._sin = rope_tables(
+            store.config.head_dim, store.config.max_seq, store.config.rope_theta
+        )
+        return model
+
+    def to_store(self) -> ParamStore:
+        """Snapshot current weights as a plain ParamStore (copies)."""
+        return ParamStore(
+            self.config, {name: t.data.copy() for name, t in self.params.items()}
+        )
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable tensors."""
+        return list(self.params.values())
+
+    def n_params(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.parameters():
+            p.grad = None
+
+    # -- forward --------------------------------------------------------------
+
+    def _attention(self, x: Tensor, block: int, mask: np.ndarray) -> Tensor:
+        cfg = self.config
+        p = self.params
+        prefix = f"blocks.{block}."
+        batch, seq, _ = x.shape
+        h, hd = cfg.n_heads, cfg.head_dim
+
+        def split_heads(t: Tensor) -> Tensor:
+            return t.reshape(batch, seq, h, hd).transpose(0, 2, 1, 3)
+
+        q = split_heads(x @ p[prefix + "q_proj.weight"])
+        k = split_heads(x @ p[prefix + "k_proj.weight"])
+        v = split_heads(x @ p[prefix + "v_proj.weight"])
+        cos, sin = self._cos[:seq], self._sin[:seq]
+        q = rope(q, cos, sin)
+        k = rope(k, cos, sin)
+        scores = (q @ k.swapaxes(-1, -2)) * (hd**-0.5) + mask
+        attn = softmax(scores, axis=-1)
+        ctx = (attn @ v).transpose(0, 2, 1, 3).reshape(batch, seq, cfg.d_model)
+        return ctx @ p[prefix + "out_proj.weight"]
+
+    def _mlp(self, h: Tensor, prefix: str) -> Tensor:
+        p = self.params
+        gate = silu(h @ p[prefix + "gate_proj.weight"])
+        up = h @ p[prefix + "up_proj.weight"]
+        return (gate * up) @ p[prefix + "down_proj.weight"]
+
+    def _moe(self, h: Tensor, block: int) -> tuple[Tensor, Tensor]:
+        """Top-k mixture-of-experts MLP with a load-balancing aux loss."""
+        cfg = self.config
+        prefix = f"blocks.{block}."
+        router_logits = h @ self.params[prefix + "router.weight"]
+        probs = softmax(router_logits, axis=-1)  # (B, T, E)
+        # Top-k selection on values only (non-differentiable routing
+        # decision, gradients flow through the kept probabilities).
+        kth = np.partition(probs.data, -cfg.top_k, axis=-1)[..., -cfg.top_k][
+            ..., None
+        ]
+        keep = (probs.data >= kth).astype(np.float32)
+        # Guard against ties selecting more than k experts.
+        excess = keep.sum(-1) > cfg.top_k
+        if excess.any():
+            flat = keep.reshape(-1, cfg.n_experts)
+            for idx in np.nonzero(excess.reshape(-1))[0]:
+                on = np.nonzero(flat[idx])[0]
+                flat[idx, on[cfg.top_k :]] = 0.0
+            keep = flat.reshape(keep.shape)
+        gates = probs * keep
+        gates = gates / (gates.sum(axis=-1, keepdims=True) + 1e-9)
+        out: Tensor | None = None
+        for e in range(cfg.n_experts):
+            expert_out = self._mlp(h, prefix + f"experts.{e}.")
+            weighted = expert_out * gates[..., e : e + 1]
+            out = weighted if out is None else out + weighted
+        assert out is not None
+        # Switch-transformer load-balance loss: E * sum_e f_e * P_e.
+        frac = keep.mean(axis=(0, 1)) / cfg.top_k  # constant
+        mean_probs = probs.mean(axis=(0, 1))
+        aux = (mean_probs * Tensor(frac * cfg.n_experts)).sum()
+        return out, aux
+
+    def forward(self, tokens: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Compute logits for a batch of token ids.
+
+        Parameters
+        ----------
+        tokens:
+            Integer array of shape ``(batch, seq)``.
+
+        Returns
+        -------
+        logits:
+            Tensor of shape ``(batch, seq, vocab)``.
+        aux_loss:
+            MoE load-balancing loss (zero tensor for dense models).
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError("forward expects (batch, seq) token ids")
+        cfg = self.config
+        if tokens.shape[1] > cfg.max_seq:
+            raise ValueError(
+                f"sequence length {tokens.shape[1]} exceeds max_seq {cfg.max_seq}"
+            )
+        p = self.params
+        mask = causal_mask(tokens.shape[1])
+        x = p["embed.weight"].take_rows(tokens)
+        aux_total: Tensor = Tensor(np.float32(0.0))
+        for b in range(cfg.n_blocks):
+            prefix = f"blocks.{b}."
+            h = rms_norm(x, p[prefix + "attn_norm.weight"], cfg.norm_eps)
+            x = x + self._attention(h, b, mask)
+            h = rms_norm(x, p[prefix + "mlp_norm.weight"], cfg.norm_eps)
+            if cfg.is_moe:
+                moe_out, aux = self._moe(h, b)
+                x = x + moe_out
+                aux_total = aux_total + aux
+            else:
+                x = x + self._mlp(h, prefix)
+        x = rms_norm(x, p["final_norm.weight"], cfg.norm_eps)
+        logits = x @ p["lm_head.weight"]
+        return logits, aux_total
+
+    def loss(
+        self,
+        tokens: np.ndarray,
+        targets: np.ndarray,
+        aux_weight: float = 0.01,
+    ) -> Tensor:
+        """Next-token cross-entropy (+ MoE aux loss) over a batch.
+
+        ``targets`` uses ``-100`` for positions excluded from the loss
+        (padding and, during task fine-tuning, prompt tokens).
+        """
+        logits, aux = self.forward(tokens)
+        batch, seq, vocab = logits.shape
+        ce = cross_entropy(
+            logits.reshape(batch * seq, vocab), np.asarray(targets).reshape(-1)
+        )
+        if self.config.is_moe and aux_weight:
+            return ce + aux * aux_weight
+        return ce

@@ -1,0 +1,48 @@
+"""Bit-level numerics: float formats, quantized storage, FI statistics."""
+
+from repro.numerics.formats import (
+    BF16,
+    FORMATS,
+    FP16,
+    FP32,
+    FloatFormat,
+    bit_roles,
+    flip_bits,
+    flip_value_bits,
+    from_bits,
+    get_format,
+    round_to_format,
+    to_bits,
+)
+from repro.numerics.quantized import QuantizedMatrix, quantize_matrix
+from repro.numerics.stats import (
+    RatioCI,
+    log_ratio_ci_means,
+    log_ratio_ci_proportions,
+    normalized_performance,
+    required_trials,
+    wilson_interval,
+)
+
+__all__ = [
+    "BF16",
+    "FORMATS",
+    "FP16",
+    "FP32",
+    "FloatFormat",
+    "QuantizedMatrix",
+    "RatioCI",
+    "bit_roles",
+    "flip_bits",
+    "flip_value_bits",
+    "from_bits",
+    "get_format",
+    "log_ratio_ci_means",
+    "log_ratio_ci_proportions",
+    "normalized_performance",
+    "quantize_matrix",
+    "required_trials",
+    "round_to_format",
+    "to_bits",
+    "wilson_interval",
+]

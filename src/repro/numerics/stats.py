@@ -1,0 +1,149 @@
+"""Statistical machinery for fault-injection campaigns.
+
+The paper reports *normalized performance* (faulty metric divided by
+fault-free metric) with 95% confidence intervals obtained via the
+log-transformation method for ratios (Katz et al., 1978; Kahn &
+Sempos, 1989) — the standard epidemiology estimator for a risk ratio.
+This module implements both the proportion (binomial outcome) and the
+continuous-metric variants, plus a few helpers the campaign runner
+uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RatioCI",
+    "log_ratio_ci_proportions",
+    "log_ratio_ci_means",
+    "normalized_performance",
+    "wilson_interval",
+    "required_trials",
+]
+
+_Z95 = 1.959963984540054  # two-sided 95% normal quantile
+
+
+@dataclass(frozen=True)
+class RatioCI:
+    """A ratio estimate with a symmetric-in-log 95% confidence interval."""
+
+    ratio: float
+    lower: float
+    upper: float
+
+    @property
+    def margin(self) -> float:
+        """Half-width of the CI on the linear scale (upper - ratio)."""
+        return self.upper - self.ratio
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def log_ratio_ci_proportions(
+    successes_faulty: int,
+    trials_faulty: int,
+    successes_baseline: int,
+    trials_baseline: int,
+    z: float = _Z95,
+) -> RatioCI:
+    """Katz log-transform CI for a ratio of two binomial proportions.
+
+    Used for accuracy-style metrics (multiple-choice, GSM8k, exact
+    match) where each fault-injection run either matches the reference
+    or not.  The standard error of ``log(p1/p0)`` is
+    ``sqrt((1-p1)/(n1*p1) + (1-p0)/(n0*p0))``.
+    """
+    if min(trials_faulty, trials_baseline) <= 0:
+        raise ValueError("trial counts must be positive")
+    if successes_baseline == 0:
+        # Baseline never succeeds: the ratio is undefined; report NaN.
+        return RatioCI(math.nan, math.nan, math.nan)
+    if successes_faulty == 0:
+        # Degenerate: ratio 0 with an uninformative lower bound.
+        return RatioCI(0.0, 0.0, 0.0)
+    p1 = successes_faulty / trials_faulty
+    p0 = successes_baseline / trials_baseline
+    ratio = p1 / p0
+    se = math.sqrt(
+        (1.0 - p1) / (trials_faulty * p1) + (1.0 - p0) / (trials_baseline * p0)
+    )
+    log_r = math.log(ratio)
+    return RatioCI(ratio, math.exp(log_r - z * se), math.exp(log_r + z * se))
+
+
+def log_ratio_ci_means(
+    faulty_values: np.ndarray,
+    baseline_value: float,
+    z: float = _Z95,
+) -> RatioCI:
+    """Log-transform CI for mean(faulty metric) / baseline metric.
+
+    Used for continuous quality metrics (BLEU, chrF++, ROUGE, F1).  The
+    baseline is treated as a constant (it is a single deterministic
+    fault-free evaluation); variability comes from the faulty trials.
+    The CI is computed on ``log`` of the per-trial ratios using the
+    delta method on the mean, which keeps the interval positive and
+    asymmetric exactly as in the paper's plots.
+    """
+    values = np.asarray(faulty_values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("no faulty trial values supplied")
+    if baseline_value <= 0:
+        return RatioCI(math.nan, math.nan, math.nan)
+    ratios = values / baseline_value
+    mean = float(ratios.mean())
+    if mean <= 0:
+        return RatioCI(0.0, 0.0, 0.0)
+    if values.size == 1:
+        return RatioCI(mean, mean, mean)
+    # Delta method: Var[log(mean R)] ~= Var[R] / (n * mean^2).
+    se_log = float(ratios.std(ddof=1)) / (math.sqrt(values.size) * mean)
+    log_m = math.log(mean)
+    # min/max guard against exp(log(x)) round-off inverting the order
+    # when the spread is zero.
+    return RatioCI(
+        mean,
+        min(mean, math.exp(log_m - z * se_log)),
+        max(mean, math.exp(log_m + z * se_log)),
+    )
+
+
+def normalized_performance(faulty: float, baseline: float) -> float:
+    """Normalized performance = P_fault_injected / P_fault_free."""
+    if baseline == 0:
+        return math.nan
+    return faulty / baseline
+
+
+def wilson_interval(successes: int, trials: int, z: float = _Z95) -> tuple[float, float]:
+    """Wilson score interval for a single proportion.
+
+    Used for the SDC-rate style quantities (e.g. "78.6% of gate-layer
+    faults changed the expert selection", Fig. 15).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def required_trials(p_est: float, margin: float, z: float = _Z95) -> int:
+    """Trials needed so a proportion's 95% CI half-width is <= margin.
+
+    Statistical fault injection sizes its campaigns this way; the paper
+    follows the same estimator (citing [87]).
+    """
+    if not 0 < p_est < 1:
+        raise ValueError("p_est must be in (0, 1)")
+    if margin <= 0:
+        raise ValueError("margin must be positive")
+    return math.ceil(z * z * p_est * (1 - p_est) / (margin * margin))

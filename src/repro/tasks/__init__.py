@@ -1,0 +1,55 @@
+"""Synthetic task suite: nine datasets over one procedurally built world."""
+
+from repro.tasks.base import GenExample, MCExample, Task, TaskKind, rng_for
+from repro.tasks.math_task import GSM8kTask, extract_final_answer
+from repro.tasks.multiple_choice import (
+    ARCTask,
+    HellaSwagTask,
+    MMLUTask,
+    TruthfulQATask,
+    WinoGrandeTask,
+)
+from repro.tasks.qa import SquadTask
+from repro.tasks.summarization import SummarizationTask
+from repro.tasks.tinybench import TINYBENCH_SEED, TINYBENCH_SIZE, standardized_subset
+from repro.tasks.translation import TranslationTask
+from repro.tasks.world import World, pseudoword
+
+__all__ = [
+    "ARCTask",
+    "GSM8kTask",
+    "GenExample",
+    "HellaSwagTask",
+    "MCExample",
+    "MMLUTask",
+    "SquadTask",
+    "SummarizationTask",
+    "TINYBENCH_SEED",
+    "TINYBENCH_SIZE",
+    "Task",
+    "TaskKind",
+    "TranslationTask",
+    "TruthfulQATask",
+    "WinoGrandeTask",
+    "World",
+    "all_tasks",
+    "extract_final_answer",
+    "pseudoword",
+    "rng_for",
+    "standardized_subset",
+]
+
+
+def all_tasks(world: World) -> list[Task]:
+    """Instantiate the full nine-dataset suite (paper Table 1 order)."""
+    return [
+        MMLUTask(world),
+        ARCTask(world),
+        TruthfulQATask(world),
+        WinoGrandeTask(world),
+        HellaSwagTask(world),
+        GSM8kTask(world),
+        TranslationTask(world),
+        SummarizationTask(world),
+        SquadTask(world),
+    ]

@@ -1,0 +1,67 @@
+"""Task abstractions shared by all synthetic datasets."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["TaskKind", "MCExample", "GenExample", "Task", "rng_for"]
+
+
+class TaskKind(enum.Enum):
+    """The paper's two task categories (Observation #2 contrasts them)."""
+
+    MULTIPLE_CHOICE = "multiple_choice"
+    GENERATIVE = "generative"
+
+
+@dataclass(frozen=True)
+class MCExample:
+    """Multiple-choice item: options are scored by sequence likelihood.
+
+    ``prompt`` ends right before where an option would continue, e.g.
+    ``"question : what is the capital of france ? answer :"``.
+    """
+
+    prompt: str
+    options: tuple[str, ...]
+    answer_index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.answer_index < len(self.options):
+            raise ValueError("answer_index out of range")
+
+
+@dataclass(frozen=True)
+class GenExample:
+    """Generative item: the model continues ``prompt`` token by token."""
+
+    prompt: str
+    reference: str
+    meta: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+@runtime_checkable
+class Task(Protocol):
+    """A dataset generator: training text + standardized eval examples."""
+
+    name: str
+    kind: TaskKind
+    metrics: tuple[str, ...]
+    max_new_tokens: int
+
+    def training_texts(self, rng: np.random.Generator, n: int) -> list[str]:
+        """Sample ``n`` training documents (full prompt+completion texts)."""
+        ...
+
+    def examples(self, rng: np.random.Generator, n: int) -> list:
+        """Sample ``n`` evaluation examples."""
+        ...
+
+
+def rng_for(task_name: str, seed: int) -> np.random.Generator:
+    """Namespaced deterministic generator: same (task, seed) -> same data."""
+    return np.random.default_rng([seed, *(ord(c) for c in task_name)])

@@ -1,0 +1,110 @@
+"""GSM8k-style grade-school math with chain-of-thought solutions.
+
+Problems are two-step arithmetic word problems.  The reference solution
+exists in two formats, mirroring the paper's CoT experiment (Fig. 20):
+
+* **CoT** ("solve : ... =") — intermediate reasoning steps followed by
+  "the answer is N", so faults can corrupt intermediate tokens and the
+  model has a chance to recover (Observation #10);
+* **direct** ("solve brief : ... =") — only "the answer is N", the
+  paper's "output only the final numerical answer" prompt.
+
+Operands stay single-digit (digit tokenization makes two-digit results
+two tokens), keeping the arithmetic learnable by a tiny model while
+preserving multi-step error propagation (paper Fig. 12).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.tasks.base import GenExample, TaskKind
+from repro.tasks.world import ITEMS, PEOPLE, World
+
+__all__ = ["GSM8kTask", "extract_final_answer"]
+
+_ANSWER_RE = re.compile(r"the answer is (\d+)")
+
+
+def extract_final_answer(text: str) -> str | None:
+    """Pull the final numeric answer out of a generated solution."""
+    # Digit tokens may come out space-separated; merge runs first.
+    text = re.sub(r"(?<=\d) (?=\d)", "", text)
+    match = _ANSWER_RE.search(text)
+    return match.group(1) if match else None
+
+
+class GSM8kTask:
+    """Two-step add-then-subtract word problems."""
+
+    name = "gsm8k"
+    kind = TaskKind.GENERATIVE
+    metrics = ("accuracy",)
+    max_new_tokens = 26
+
+    def __init__(self, world: World, use_cot: bool = True) -> None:
+        self.world = world
+        self.use_cot = use_cot
+
+    def _problem(
+        self, rng: np.random.Generator
+    ) -> tuple[str, str, str, int, int, int, int, int]:
+        person = PEOPLE[int(rng.integers(0, len(PEOPLE)))]
+        item = ITEMS[int(rng.integers(0, len(ITEMS)))]
+        a = int(rng.integers(2, 10))
+        b = int(rng.integers(2, 10))
+        d = a + b
+        c = int(rng.integers(1, min(d, 10)))
+        e = d - c
+        problem = (
+            f"{person} has {a} {item} . {person} buys {b} more {item} ."
+            f" then {person} gives away {c} {item} . how many {item} does"
+            f" {person} have now ?"
+        )
+        return person, item, problem, a, b, c, d, e
+
+    @staticmethod
+    def _cot_solution(a: int, b: int, c: int, d: int, e: int) -> str:
+        return f"{a} + {b} = {d} . {d} - {c} = {e} . the answer is {e} ."
+
+    @staticmethod
+    def _direct_solution(e: int) -> str:
+        return f"the answer is {e} ."
+
+    def training_texts(self, rng: np.random.Generator, n: int) -> list[str]:
+        texts = []
+        for _ in range(n):
+            _p, _i, problem, a, b, c, d, e = self._problem(rng)
+            if rng.integers(0, 3) == 0:
+                texts.append(f"solve brief : {problem} = {self._direct_solution(e)}")
+            else:
+                texts.append(f"solve : {problem} = {self._cot_solution(a, b, c, d, e)}")
+            # Bare arithmetic drills make the digit arithmetic reliable.
+            if rng.integers(0, 2) == 0:
+                x, y = int(rng.integers(1, 10)), int(rng.integers(1, 10))
+                if rng.integers(0, 2) == 0:
+                    texts.append(f"{x} + {y} = {x + y} .")
+                elif x + y > 0:
+                    texts.append(f"{x + y} - {y} = {x} .")
+        return texts
+
+    def examples(self, rng: np.random.Generator, n: int) -> list[GenExample]:
+        out = []
+        mode = "solve" if self.use_cot else "solve brief"
+        for _ in range(n):
+            _p, _i, problem, a, b, c, d, e = self._problem(rng)
+            reference = (
+                self._cot_solution(a, b, c, d, e)
+                if self.use_cot
+                else self._direct_solution(e)
+            )
+            out.append(
+                GenExample(
+                    prompt=f"{mode} : {problem} =",
+                    reference=reference,
+                    meta={"final_answer": str(e)},
+                )
+            )
+        return out

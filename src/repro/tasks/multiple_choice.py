@@ -1,0 +1,306 @@
+"""The five multiple-choice datasets (synthetic equivalents).
+
+Paper counterparts: MMLU (multi-subject knowledge), AI2 ARC
+(grade-school science), TruthfulQA (myth avoidance), WinoGrande
+(pronoun resolution) and HellaSwag (sentence completion).  All are
+evaluated the way the paper describes: "the model scores each option
+and chooses the one with the highest score instead of generating
+content".
+
+Each generator produces (a) declarative/QA training text teaching the
+underlying facts and (b) standardized evaluation items with one correct
+option and distractors drawn from the same category.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tasks.base import MCExample, TaskKind
+from repro.tasks.world import (
+    CAPITALS,
+    COUNTRIES,
+    EVENTS,
+    MYTHS,
+    OBJECTS,
+    PEOPLE,
+    SCIENCE_PROPERTIES,
+    World,
+)
+
+__all__ = [
+    "MMLUTask",
+    "ARCTask",
+    "TruthfulQATask",
+    "WinoGrandeTask",
+    "HellaSwagTask",
+]
+
+
+def _choice(rng: np.random.Generator, items: tuple) -> object:
+    return items[int(rng.integers(0, len(items)))]
+
+
+def _distractors(
+    rng: np.random.Generator, pool: tuple[str, ...], correct: str, k: int
+) -> list[str]:
+    candidates = [c for c in pool if c != correct]
+    idx = rng.permutation(len(candidates))[:k]
+    return [candidates[i] for i in idx]
+
+
+class MMLUTask:
+    """Multi-subject knowledge questions (capitals / residences / jobs)."""
+
+    name = "mmlu"
+    kind = TaskKind.MULTIPLE_CHOICE
+    metrics = ("accuracy",)
+    max_new_tokens = 4
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+
+    def _item(self, rng: np.random.Generator) -> tuple[str, str, tuple[str, ...]]:
+        subject = int(rng.integers(0, 3))
+        if subject == 0:
+            country = _choice(rng, COUNTRIES)
+            question = f"what is the capital of {country} ?"
+            correct = self.world.capital_of[country]
+            pool = CAPITALS
+        elif subject == 1:
+            person = _choice(rng, PEOPLE)
+            question = f"where does {person} live ?"
+            correct = self.world.lives_in[person]
+            pool = CAPITALS
+        else:
+            person = _choice(rng, PEOPLE)
+            question = f"what does {person} work as ?"
+            correct = self.world.job_of[person]
+            pool = tuple(sorted(set(self.world.job_of.values())))
+        return question, correct, pool
+
+    def training_texts(self, rng: np.random.Generator, n: int) -> list[str]:
+        texts = []
+        for _ in range(n):
+            kind = int(rng.integers(0, 2))
+            question, correct, _pool = self._item(rng)
+            if kind == 0:
+                texts.append(f"question : {question} answer : {correct} .")
+            else:
+                # Declarative form of the same fact.
+                country_like = question.split(" of ")[-1].rstrip(" ?")
+                if question.startswith("what is the capital"):
+                    texts.append(f"the capital of {country_like} is {correct} .")
+                elif question.startswith("where does"):
+                    person = question.split()[2]
+                    texts.append(f"{person} lives in {correct} .")
+                else:
+                    person = question.split()[2]
+                    texts.append(f"{person} works as a {correct} .")
+        return texts
+
+    def examples(self, rng: np.random.Generator, n: int) -> list[MCExample]:
+        out = []
+        for _ in range(n):
+            question, correct, pool = self._item(rng)
+            options = _distractors(rng, pool, correct, 3)
+            answer_index = int(rng.integers(0, 4))
+            options.insert(answer_index, correct)
+            out.append(
+                MCExample(
+                    prompt=f"question : {question} answer :",
+                    options=tuple(f" {o}" for o in options),
+                    answer_index=answer_index,
+                )
+            )
+        return out
+
+
+class ARCTask:
+    """Grade-school science: property and capability questions."""
+
+    name = "arc"
+    kind = TaskKind.MULTIPLE_CHOICE
+    metrics = ("accuracy",)
+    max_new_tokens = 4
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+
+    def training_texts(self, rng: np.random.Generator, n: int) -> list[str]:
+        texts = []
+        for _ in range(n):
+            subject, rel, value = SCIENCE_PROPERTIES[
+                int(rng.integers(0, len(SCIENCE_PROPERTIES)))
+            ]
+            if rng.integers(0, 2) == 0:
+                texts.append(f"{subject} {rel} {value} .")
+            elif rel == "is":
+                texts.append(f"question : what is {subject} ? answer : {value} .")
+            else:
+                texts.append(f"question : what can {subject} do ? answer : {value} .")
+        return texts
+
+    def examples(self, rng: np.random.Generator, n: int) -> list[MCExample]:
+        out = []
+        values_is = tuple(v for _s, r, v in SCIENCE_PROPERTIES if r == "is")
+        values_can = tuple(v for _s, r, v in SCIENCE_PROPERTIES if r == "can")
+        for _ in range(n):
+            subject, rel, value = SCIENCE_PROPERTIES[
+                int(rng.integers(0, len(SCIENCE_PROPERTIES)))
+            ]
+            pool = values_can if rel == "can" else values_is
+            options = _distractors(rng, pool, value, 3)
+            answer_index = int(rng.integers(0, 4))
+            options.insert(answer_index, value)
+            prompt = (
+                f"question : what can {subject} do ? answer :"
+                if rel == "can"
+                else f"question : what is {subject} ? answer :"
+            )
+            out.append(
+                MCExample(
+                    prompt=prompt,
+                    options=tuple(f" {o}" for o in options),
+                    answer_index=answer_index,
+                )
+            )
+        return out
+
+
+class TruthfulQATask:
+    """Myth avoidance: the truthful option vs. a popular misconception.
+
+    Training text states the truth often and mentions the myth rarely
+    (always flagged false), mirroring how web corpora make truthful
+    continuations likelier but not certain.
+    """
+
+    name = "truthfulqa"
+    kind = TaskKind.MULTIPLE_CHOICE
+    metrics = ("accuracy",)
+    max_new_tokens = 6
+
+    def __init__(self, world: World, myth_rate: float = 0.15) -> None:
+        self.world = world
+        self.myth_rate = myth_rate
+
+    def training_texts(self, rng: np.random.Generator, n: int) -> list[str]:
+        texts = []
+        for _ in range(n):
+            topic, truth, myth = MYTHS[int(rng.integers(0, len(MYTHS)))]
+            if rng.random() < self.myth_rate:
+                texts.append(
+                    f"some people say that if {topic} then {myth} but that is"
+                    f" false ."
+                )
+            else:
+                texts.append(f"question : what happens if {topic} ? answer : {truth} .")
+        return texts
+
+    def examples(self, rng: np.random.Generator, n: int) -> list[MCExample]:
+        out = []
+        for _ in range(n):
+            topic, truth, myth = MYTHS[int(rng.integers(0, len(MYTHS)))]
+            answer_index = int(rng.integers(0, 2))
+            options = [myth, myth]
+            options[answer_index] = truth
+            out.append(
+                MCExample(
+                    prompt=f"question : what happens if {topic} ? answer :",
+                    options=tuple(f" {o}" for o in options),
+                    answer_index=answer_index,
+                )
+            )
+        return out
+
+
+class WinoGrandeTask:
+    """Pronoun resolution over contrasting object attributes."""
+
+    name = "winogrande"
+    kind = TaskKind.MULTIPLE_CHOICE
+    metrics = ("accuracy",)
+    max_new_tokens = 4
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self._big = tuple(o for o in OBJECTS if world.size_of[o] == "big")
+        self._small = tuple(o for o in OBJECTS if world.size_of[o] == "small")
+
+    def training_texts(self, rng: np.random.Generator, n: int) -> list[str]:
+        texts = []
+        for _ in range(n):
+            if rng.integers(0, 2) == 0:
+                obj = _choice(rng, OBJECTS)
+                texts.append(f"the {obj} is {self.world.size_of[obj]} .")
+            else:
+                # Full task-format examples teach the resolution pattern.
+                big = _choice(rng, self._big)
+                small = _choice(rng, self._small)
+                ask_big = bool(rng.integers(0, 2))
+                answer = big if ask_big else small
+                size = "big" if ask_big else "small"
+                texts.append(
+                    f"the {big} does not fit in the {small} because it is too"
+                    f" {size} . question : what is too {size} ? answer : the"
+                    f" {answer} ."
+                )
+        return texts
+
+    def examples(self, rng: np.random.Generator, n: int) -> list[MCExample]:
+        out = []
+        for _ in range(n):
+            big = _choice(rng, self._big)
+            small = _choice(rng, self._small)
+            ask_big = bool(rng.integers(0, 2))
+            prompt = (
+                f"the {big} does not fit in the {small} because it is too"
+                f" {'big' if ask_big else 'small'} . question : what is too"
+                f" {'big' if ask_big else 'small'} ? answer : the"
+            )
+            options = (f" {big}", f" {small}")
+            out.append(
+                MCExample(
+                    prompt=prompt,
+                    options=options,
+                    answer_index=0 if ask_big else 1,
+                )
+            )
+        return out
+
+
+class HellaSwagTask:
+    """Plausible-continuation selection over event schemas."""
+
+    name = "hellaswag"
+    kind = TaskKind.MULTIPLE_CHOICE
+    metrics = ("accuracy",)
+    max_new_tokens = 4
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+
+    def training_texts(self, rng: np.random.Generator, n: int) -> list[str]:
+        texts = []
+        for _ in range(n):
+            agent, verb, obj = EVENTS[int(rng.integers(0, len(EVENTS)))]
+            texts.append(f"the {agent} {verb} the {obj} .")
+        return texts
+
+    def examples(self, rng: np.random.Generator, n: int) -> list[MCExample]:
+        objects = tuple(obj for _a, _v, obj in EVENTS)
+        out = []
+        for _ in range(n):
+            agent, verb, obj = EVENTS[int(rng.integers(0, len(EVENTS)))]
+            options = _distractors(rng, objects, obj, 3)
+            answer_index = int(rng.integers(0, 4))
+            options.insert(answer_index, obj)
+            out.append(
+                MCExample(
+                    prompt=f"the {agent} {verb} the",
+                    options=tuple(f" {o}" for o in options),
+                    answer_index=answer_index,
+                )
+            )
+        return out

@@ -1,0 +1,104 @@
+"""SQuAD v2-style extractive question answering.
+
+Contexts are short fact paragraphs; questions ask for a span that
+appears verbatim in the context.  Like SQuAD v2, a fraction of the
+questions are *unanswerable* from the context — the model must output
+"unknown" (our stand-in for SQuAD's empty answer).  Scored with Exact
+Match and token-level F1, the paper's SQuAD metrics.
+
+The context relations (who *visited* which city, who *has* which
+object) are sampled fresh per example and deliberately have no fixed
+world-level ground truth, so the only way to answer is to copy the
+span out of the context — genuine extraction, not fact recall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tasks.base import GenExample, TaskKind
+from repro.tasks.world import CAPITALS, OBJECTS, PEOPLE, World
+
+__all__ = ["SquadTask"]
+
+
+class SquadTask:
+    """Extractive QA with unanswerable questions."""
+
+    name = "squadv2"
+    kind = TaskKind.GENERATIVE
+    metrics = ("exact_match", "f1")
+    max_new_tokens = 5
+
+    def __init__(self, world: World, unanswerable_rate: float = 0.25) -> None:
+        self.world = world
+        self.unanswerable_rate = unanswerable_rate
+
+    def _context(
+        self, rng: np.random.Generator
+    ) -> tuple[str, list[tuple[str, str, str]]]:
+        """Build a 2-3 fact context; returns (text, [(person, kind, answer)])."""
+        idx = rng.permutation(len(PEOPLE))[: 2 + int(rng.integers(0, 2))]
+        facts: list[tuple[str, str, str]] = []
+        sentences = []
+        for i in idx:
+            person = PEOPLE[i]
+            if rng.integers(0, 2) == 0:
+                city = CAPITALS[int(rng.integers(0, len(CAPITALS)))]
+                sentences.append(f"{person} visited {city} .")
+                facts.append((person, "visited", city))
+            else:
+                obj = OBJECTS[int(rng.integers(0, len(OBJECTS)))]
+                sentences.append(f"{person} has a {obj} .")
+                facts.append((person, "has", obj))
+        return " ".join(sentences), facts
+
+    @staticmethod
+    def _question(person: str, kind: str) -> str:
+        if kind == "visited":
+            return f"where did {person} visit ?"
+        return f"what does {person} have ?"
+
+    def training_texts(self, rng: np.random.Generator, n: int) -> list[str]:
+        texts = []
+        for _ in range(n):
+            context, facts = self._context(rng)
+            if rng.random() < self.unanswerable_rate:
+                mentioned = {p for p, _k, _a in facts}
+                absent = [p for p in PEOPLE if p not in mentioned]
+                person = absent[int(rng.integers(0, len(absent)))]
+                kind = "visited" if rng.integers(0, 2) == 0 else "has"
+                answer = "unknown"
+            else:
+                person, kind, answer = facts[int(rng.integers(0, len(facts)))]
+            texts.append(
+                f"context : {context} question :"
+                f" {self._question(person, kind)} answer : {answer} ."
+            )
+        return texts
+
+    def examples(self, rng: np.random.Generator, n: int) -> list[GenExample]:
+        out = []
+        for _ in range(n):
+            context, facts = self._context(rng)
+            if rng.random() < self.unanswerable_rate:
+                mentioned = {p for p, _k, _a in facts}
+                absent = [p for p in PEOPLE if p not in mentioned]
+                person = absent[int(rng.integers(0, len(absent)))]
+                kind = "visited" if rng.integers(0, 2) == 0 else "has"
+                answer = "unknown"
+                answerable = False
+            else:
+                person, kind, answer = facts[int(rng.integers(0, len(facts)))]
+                answerable = True
+            out.append(
+                GenExample(
+                    prompt=(
+                        f"context : {context} question :"
+                        f" {self._question(person, kind)} answer :"
+                    ),
+                    reference=f"{answer} .",
+                    meta={"answer": answer, "answerable": answerable},
+                )
+            )
+        return out

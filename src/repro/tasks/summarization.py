@@ -1,0 +1,68 @@
+"""XLSum-style summarization over generated news-like documents.
+
+Documents are 3-5 sentences about an event; the reference summary is
+the lead sentence (the dominant pattern in extractive news
+summarization, and what the fine-tuned "Summarizer" model in the paper
+specializes in).  Quality is scored with ROUGE-1 / ROUGE-L.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tasks.base import GenExample, TaskKind
+from repro.tasks.world import CAPITALS, JOBS, PEOPLE, World
+
+__all__ = ["SummarizationTask"]
+
+_DAYS = ("monday", "tuesday", "friday")
+_WEATHER = ("sunny", "rainy")
+
+
+class SummarizationTask:
+    """Summarize a short document into its lead sentence."""
+
+    name = "xlsum"
+    kind = TaskKind.GENERATIVE
+    metrics = ("rouge1", "rougeL")
+    max_new_tokens = 18
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+
+    def _doc_and_summary(self, rng: np.random.Generator) -> tuple[str, str]:
+        person = PEOPLE[int(rng.integers(0, len(PEOPLE)))]
+        job = JOBS[int(rng.integers(0, len(JOBS)))]
+        city = CAPITALS[int(rng.integers(0, len(CAPITALS)))]
+        day = _DAYS[int(rng.integers(0, len(_DAYS)))]
+        weather = _WEATHER[int(rng.integers(0, len(_WEATHER)))]
+        lead = f"{person} the {job} visited {city} on {day} ."
+        fillers = [
+            f"a large crowd of people came to the event .",
+            f"the weather that day was {weather} .",
+            f"local news reported on the event .",
+        ]
+        k = 1 + int(rng.integers(0, len(fillers)))
+        order = rng.permutation(len(fillers))[:k]
+        doc = " ".join([lead, *[fillers[i] for i in order]])
+        return doc, lead
+
+    def training_texts(self, rng: np.random.Generator, n: int) -> list[str]:
+        texts = []
+        for _ in range(n):
+            doc, summary = self._doc_and_summary(rng)
+            texts.append(f"summarize : {doc} = {summary}")
+        return texts
+
+    def examples(self, rng: np.random.Generator, n: int) -> list[GenExample]:
+        out = []
+        for _ in range(n):
+            doc, summary = self._doc_and_summary(rng)
+            out.append(
+                GenExample(
+                    prompt=f"summarize : {doc} =",
+                    reference=summary,
+                    meta={"document": doc},
+                )
+            )
+        return out

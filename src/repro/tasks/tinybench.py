@@ -1,0 +1,25 @@
+"""tinyBenchmarks-style standardized evaluation subsets.
+
+The paper evaluates 100 standardized inputs per dataset selected by
+tinyBenchmarks.  We provide the same facility: a fixed-seed,
+task-namespaced subset that every experiment shares, so results are
+comparable across campaigns and across runs.
+"""
+
+from __future__ import annotations
+
+from repro.tasks.base import Task, rng_for
+
+__all__ = ["standardized_subset", "TINYBENCH_SEED", "TINYBENCH_SIZE"]
+
+TINYBENCH_SEED = 100
+TINYBENCH_SIZE = 100
+
+
+def standardized_subset(task: Task, n: int = TINYBENCH_SIZE, seed: int = TINYBENCH_SEED):
+    """Deterministic ``n``-example evaluation slice for ``task``.
+
+    The RNG is namespaced by task name, so adding datasets never
+    perturbs existing subsets.
+    """
+    return task.examples(rng_for(task.name, seed), n)

@@ -1,0 +1,227 @@
+"""A procedurally generated micro-world backing all synthetic datasets.
+
+The paper evaluates nine public NLP datasets.  Offline we generate
+synthetic equivalents from a single consistent "world": lexicons of
+people, places, objects and their attributes, a capital-city atlas, a
+science-property table, myth/fact pairs, event schemas, and a
+two-language parallel lexicon.  Every dataset generator in
+:mod:`repro.tasks` draws from this world, so one pretrained model can
+serve all tasks — mirroring how one general-purpose LLM serves all of
+the paper's benchmarks.
+
+Everything is deterministic given the construction seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["World", "pseudoword"]
+
+PEOPLE = (
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "henry",
+    "ivy", "jack", "karen", "leo", "mona", "nick", "olga", "paul",
+)
+COUNTRIES = (
+    "france", "england", "italy", "germany", "spain", "austria", "norway",
+    "ireland", "portugal", "greece", "egypt", "japan", "india", "peru",
+    "kenya", "bulgaria",
+)
+CAPITALS = (
+    "paris", "london", "rome", "berlin", "madrid", "vienna", "oslo",
+    "dublin", "lisbon", "athens", "cairo", "tokyo", "delhi", "lima",
+    "nairobi", "sofia",
+)
+ANIMALS = (
+    "cat", "dog", "bird", "fish", "horse", "sheep", "lion", "whale",
+    "frog", "snake", "eagle", "shark",
+)
+OBJECTS = (
+    "trophy", "suitcase", "ball", "box", "book", "table", "bottle",
+    "stone", "feather", "anvil", "pillow", "hammer",
+)
+JOBS = (
+    "baker", "doctor", "farmer", "teacher", "singer", "pilot", "painter",
+    "lawyer", "nurse", "chef",
+)
+COLORS = ("red", "blue", "green", "black", "white", "brown", "yellow", "gray")
+ITEMS = ("apples", "pears", "coins", "books", "eggs", "pens", "cards", "shells")
+
+# ARC-style science property table: (subject, relation-phrase, value).
+SCIENCE_PROPERTIES = (
+    ("fire", "is", "hot"),
+    ("ice", "is", "cold"),
+    ("stone", "is", "hard"),
+    ("a pillow", "is", "soft"),
+    ("the sun", "is", "bright"),
+    ("the night", "is", "dark"),
+    ("snow", "is", "white"),
+    ("grass", "is", "green"),
+    ("a bird", "can", "fly"),
+    ("a fish", "can", "swim"),
+    ("a horse", "can", "run"),
+    ("a frog", "can", "jump"),
+    ("a snake", "can", "crawl"),
+    ("a whale", "can", "dive"),
+)
+
+# TruthfulQA-style myth/fact pairs: (question topic, truthful answer,
+# popular-misconception answer).
+MYTHS = (
+    ("you touch fire", "you get burned", "you gain luck"),
+    ("you drop a stone in water", "it sinks", "it floats away"),
+    ("you leave ice in the sun", "it melts", "it grows larger"),
+    ("you plant a seed", "a plant grows", "a coin appears"),
+    ("you break a mirror", "you have broken glass", "you get seven bad years"),
+    ("a snake bites you", "you need a doctor", "you become a snake"),
+    ("you eat before swimming", "nothing special happens", "you always sink"),
+    ("you crack your knuckles", "you hear a pop", "your bones break forever"),
+)
+
+# HellaSwag-style event schemas: (agent, verb, natural object).
+EVENTS = (
+    ("chef", "cooks", "meal"),
+    ("farmer", "grows", "corn"),
+    ("singer", "sings", "song"),
+    ("painter", "paints", "wall"),
+    ("writer", "writes", "letter"),
+    ("driver", "drives", "truck"),
+    ("baker", "bakes", "bread"),
+    ("teacher", "teaches", "class"),
+    ("pilot", "flies", "plane"),
+    ("nurse", "helps", "patient"),
+)
+
+# Content words that the constructed source language translates.
+TRANSLATABLE_NOUNS = ANIMALS + ("house", "tree", "river", "bread", "moon", "garden")
+TRANSLATABLE_ADJECTIVES = COLORS + ("small", "big", "old", "new")
+TRANSLATABLE_VERBS = ("sees", "likes", "finds", "eats", "holds", "brings")
+
+_CONSONANTS = "bdfgklmnprstvz"
+_VOWELS = "aeiou"
+
+
+def pseudoword(word: str, seed: int = 0) -> str:
+    """Deterministic pseudo-word for the constructed source language.
+
+    A small hash of the English word seeds a CV-syllable generator, so
+    the lexicon is stable across runs and injective in practice for the
+    small lexicons used here.
+    """
+    state = np.random.default_rng(
+        [seed, *(ord(c) for c in word)]
+    )
+    n_syllables = 2 + int(state.integers(0, 2))
+    out = []
+    for _ in range(n_syllables):
+        out.append(_CONSONANTS[int(state.integers(0, len(_CONSONANTS)))])
+        out.append(_VOWELS[int(state.integers(0, len(_VOWELS)))])
+    return "".join(out)
+
+
+@dataclass
+class World:
+    """All lexicons and relations; constructed deterministically."""
+
+    seed: int = 2025
+    capital_of: dict[str, str] = field(init=False)
+    lives_in: dict[str, str] = field(init=False)
+    job_of: dict[str, str] = field(init=False)
+    color_of: dict[str, str] = field(init=False)
+    size_of: dict[str, str] = field(init=False)
+    src_lexicon: dict[str, str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.capital_of = dict(zip(COUNTRIES, CAPITALS))
+        self.lives_in = {
+            p: CAPITALS[int(rng.integers(0, len(CAPITALS)))] for p in PEOPLE
+        }
+        self.job_of = {
+            p: JOBS[int(rng.integers(0, len(JOBS)))] for p in PEOPLE
+        }
+        self.color_of = {
+            a: COLORS[int(rng.integers(0, len(COLORS)))] for a in ANIMALS
+        }
+        # Alternate big/small so WinoGrande-style contrasts always exist.
+        self.size_of = {
+            obj: ("big" if i % 2 == 0 else "small") for i, obj in enumerate(OBJECTS)
+        }
+        self.src_lexicon = {
+            w: pseudoword(w, seed=self.seed)
+            for w in (
+                *TRANSLATABLE_NOUNS,
+                *TRANSLATABLE_ADJECTIVES,
+                *TRANSLATABLE_VERBS,
+            )
+        }
+        self.src_lexicon["the"] = "de"
+        self.src_lexicon["a"] = "un"
+
+    # -- translation ----------------------------------------------------------
+
+    def to_source_language(self, english_tokens: list[str]) -> list[str]:
+        """Translate English tokens into the constructed source language.
+
+        Rule set: word-for-word lexicon substitution plus the source
+        language placing adjectives *after* the noun they modify — a
+        small reordering so translation is more than token mapping.
+        """
+        mapped = [self.src_lexicon.get(t, t) for t in english_tokens]
+        out = list(mapped)
+        i = 0
+        while i < len(english_tokens) - 1:
+            if (
+                english_tokens[i] in TRANSLATABLE_ADJECTIVES
+                and english_tokens[i + 1] in TRANSLATABLE_NOUNS
+            ):
+                out[i], out[i + 1] = out[i + 1], out[i]
+                i += 2
+            else:
+                i += 1
+        return out
+
+    # -- vocabulary ------------------------------------------------------------
+
+    def all_tokens(self) -> list[str]:
+        """Every surface token any generator can emit (vocab closure)."""
+        tokens: list[str] = []
+        tokens.extend(PEOPLE)
+        tokens.extend(COUNTRIES)
+        tokens.extend(CAPITALS)
+        tokens.extend(ANIMALS)
+        tokens.extend(OBJECTS)
+        tokens.extend(JOBS)
+        tokens.extend(COLORS)
+        tokens.extend(ITEMS)
+        for subject, rel, value in SCIENCE_PROPERTIES:
+            tokens.extend(subject.split())
+            tokens.append(rel)
+            tokens.extend(value.split())
+        for topic, truth, myth in MYTHS:
+            for phrase in (topic, truth, myth):
+                tokens.extend(phrase.split())
+        for agent, verb, obj in EVENTS:
+            tokens.extend((agent, verb, obj))
+        tokens.extend(TRANSLATABLE_NOUNS)
+        tokens.extend(TRANSLATABLE_ADJECTIVES)
+        tokens.extend(TRANSLATABLE_VERBS)
+        tokens.extend(self.src_lexicon.values())
+        tokens.extend(str(d) for d in range(10))
+        tokens.extend(". , ? ! : ; = + - * / ( )".split())
+        # Template/function words used by the generators.
+        tokens.extend(
+            """the a an of is are was in at on to and or not what where who
+            which how many much does do did have has had buys gives away more
+            live work say some but visit
+            now then answer question options option because it too fit lives
+            works as can capital city visited monday tuesday friday summary
+            summarize translate solve brief context story reported large crowd
+            people came event weather that day was sunny rainy local news
+            unknown yes no true false happens if when you your step by think
+            first find total weight so therefore her his they she he
+            continue sentence complete best choice""".split()
+        )
+        return tokens

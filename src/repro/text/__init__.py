@@ -1,0 +1,16 @@
+"""Text substrate: vocabulary and tokenizer."""
+
+from repro.text.tokenizer import Tokenizer, normalize_text
+from repro.text.vocab import BOS, EOS, PAD, SEP, SPECIAL_TOKENS, UNK, Vocab
+
+__all__ = [
+    "BOS",
+    "EOS",
+    "PAD",
+    "SEP",
+    "SPECIAL_TOKENS",
+    "Tokenizer",
+    "UNK",
+    "Vocab",
+    "normalize_text",
+]

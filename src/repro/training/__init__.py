@@ -1,0 +1,23 @@
+"""Training substrate: corpora, batching, LM trainer."""
+
+from repro.training.data import (
+    DEFAULT_TASK_WEIGHTS,
+    build_mixed_corpus,
+    build_tokenizer,
+    build_vocab,
+    corpus_to_stream,
+    sample_batch,
+)
+from repro.training.trainer import TrainConfig, TrainResult, train_lm
+
+__all__ = [
+    "DEFAULT_TASK_WEIGHTS",
+    "TrainConfig",
+    "TrainResult",
+    "build_mixed_corpus",
+    "build_tokenizer",
+    "build_vocab",
+    "corpus_to_stream",
+    "sample_batch",
+    "train_lm",
+]

@@ -1,0 +1,92 @@
+"""Training-corpus construction and batching.
+
+One mixed multi-task corpus trains each "general-purpose" model — the
+tiny-scale analogue of pretraining + instruction tuning — while
+single-task corpora drive the fine-tuned variants (the paper's ALMA /
+Summarizer analogues).  Documents are concatenated into one token
+stream separated by ``<eos>``, and training samples random windows
+from it (standard LM packing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tasks.base import Task
+from repro.tasks.world import World
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocab import Vocab
+
+__all__ = [
+    "build_vocab",
+    "build_tokenizer",
+    "build_mixed_corpus",
+    "corpus_to_stream",
+    "sample_batch",
+    "DEFAULT_TASK_WEIGHTS",
+]
+
+# Sampling weights for the pretraining mixture; reasoning-heavy tasks
+# get more mass because digit arithmetic is the hardest skill for a
+# tiny model to acquire.
+DEFAULT_TASK_WEIGHTS: dict[str, float] = {
+    "mmlu": 2.0,
+    "arc": 1.0,
+    "truthfulqa": 1.0,
+    "winogrande": 1.0,
+    "hellaswag": 0.5,
+    "gsm8k": 4.0,
+    "wmt16": 2.0,
+    "xlsum": 1.5,
+    "squadv2": 2.0,
+}
+
+
+def build_vocab(world: World) -> Vocab:
+    """Closed vocabulary over everything the world can generate."""
+    return Vocab(sorted(set(world.all_tokens())))
+
+
+def build_tokenizer(world: World) -> Tokenizer:
+    return Tokenizer(build_vocab(world))
+
+
+def build_mixed_corpus(
+    tasks: list[Task],
+    rng: np.random.Generator,
+    n_docs: int,
+    weights: dict[str, float] | None = None,
+) -> list[str]:
+    """Sample ``n_docs`` documents from the weighted task mixture."""
+    weights = weights or DEFAULT_TASK_WEIGHTS
+    w = np.array([weights.get(t.name, 1.0) for t in tasks], dtype=np.float64)
+    w /= w.sum()
+    counts = rng.multinomial(n_docs, w)
+    docs: list[str] = []
+    for task, count in zip(tasks, counts):
+        docs.extend(task.training_texts(rng, int(count)))
+    order = rng.permutation(len(docs))
+    return [docs[i] for i in order]
+
+
+def corpus_to_stream(docs: list[str], tokenizer: Tokenizer) -> np.ndarray:
+    """Concatenate documents into one ``<eos>``-separated id stream."""
+    ids: list[int] = []
+    for doc in docs:
+        ids.extend(tokenizer.encode(doc, add_eos=True))
+    return np.asarray(ids, dtype=np.int64)
+
+
+def sample_batch(
+    stream: np.ndarray,
+    rng: np.random.Generator,
+    batch_size: int,
+    seq_len: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random contiguous windows: returns (inputs, next-token targets)."""
+    if len(stream) < seq_len + 2:
+        raise ValueError("token stream shorter than one training window")
+    starts = rng.integers(0, len(stream) - seq_len - 1, size=batch_size)
+    rows = starts[:, None] + np.arange(seq_len + 1)
+    window = stream[rows]
+    return window[:, :-1], window[:, 1:]

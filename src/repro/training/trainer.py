@@ -1,0 +1,97 @@
+"""Language-model training loop over the autograd transformer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd import AdamW, CosineWarmupSchedule, clip_grad_norm
+from repro.model.transformer import TransformerLM
+from repro.training.data import sample_batch
+
+__all__ = ["TrainConfig", "TrainResult", "train_lm"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters for one training run."""
+
+    steps: int = 2000
+    batch_size: int = 16
+    seq_len: int = 64
+    lr: float = 3e-3
+    warmup_steps: int = 100
+    weight_decay: float = 0.01
+    grad_clip: float = 1.0
+    seed: int = 0
+    log_every: int = 200
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.batch_size < 1 or self.seq_len < 2:
+            raise ValueError("invalid batch geometry")
+
+
+@dataclass
+class TrainResult:
+    """Loss trajectory of a completed run."""
+
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def smoothed_final(self, window: int = 50) -> float:
+        tail = self.losses[-window:]
+        return float(np.mean(tail)) if tail else float("nan")
+
+
+def train_lm(
+    model: TransformerLM,
+    stream: np.ndarray,
+    config: TrainConfig,
+    on_step: Callable[[int, float], None] | None = None,
+) -> TrainResult:
+    """Train ``model`` on random windows of ``stream`` (next-token CE).
+
+    Deterministic given (model init, stream, config.seed).  Norm gains
+    are excluded from weight decay, the usual transformer practice.
+    """
+    rng = np.random.default_rng(config.seed)
+    decay_params = [
+        t for n, t in model.params.items() if not n.endswith("norm.weight")
+    ]
+    nodecay_params = [
+        t for n, t in model.params.items() if n.endswith("norm.weight")
+    ]
+    opt_decay = AdamW(
+        decay_params, lr=config.lr, weight_decay=config.weight_decay
+    )
+    opt_nodecay = AdamW(nodecay_params, lr=config.lr, weight_decay=0.0)
+    schedule_a = CosineWarmupSchedule(
+        opt_decay, config.lr, config.warmup_steps, config.steps
+    )
+    schedule_b = CosineWarmupSchedule(
+        opt_nodecay, config.lr, config.warmup_steps, config.steps
+    )
+    result = TrainResult()
+    seq_len = min(config.seq_len, model.config.max_seq)
+    for step in range(config.steps):
+        inputs, targets = sample_batch(stream, rng, config.batch_size, seq_len)
+        loss = model.loss(inputs, targets)
+        model.zero_grad()
+        loss.backward()
+        clip_grad_norm(model.parameters(), config.grad_clip)
+        schedule_a.step()
+        schedule_b.step()
+        opt_decay.step()
+        opt_nodecay.step()
+        value = float(loss.data)
+        result.losses.append(value)
+        if on_step is not None and (step % config.log_every == 0):
+            on_step(step, value)
+    return result

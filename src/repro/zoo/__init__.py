@@ -1,0 +1,26 @@
+"""Model zoo: named, cached, deterministic model builds."""
+
+from repro.zoo.build import (
+    WORLD_SEED,
+    artifacts_dir,
+    build_model,
+    cache_path,
+    default_tokenizer,
+    default_world,
+    load_model,
+)
+from repro.zoo.registry import ZOO, ZooSpec, get_spec, zoo_names
+
+__all__ = [
+    "WORLD_SEED",
+    "ZOO",
+    "ZooSpec",
+    "artifacts_dir",
+    "build_model",
+    "cache_path",
+    "default_tokenizer",
+    "default_world",
+    "get_spec",
+    "load_model",
+    "zoo_names",
+]

@@ -1,0 +1,153 @@
+"""Build-and-cache pipeline for zoo models.
+
+``load_model(name)`` returns a trained :class:`ParamStore`, building it
+(pretraining from scratch or fine-tuning from its base) on first use
+and caching the weights as an ``.npz`` under the artifacts directory,
+keyed by a hash of everything that determines the result — so a cache
+hit is bit-identical to a rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.params import ParamStore
+from repro.model.transformer import TransformerLM
+from repro.tasks import World, all_tasks
+from repro.text.tokenizer import Tokenizer
+from repro.training.data import (
+    build_mixed_corpus,
+    build_tokenizer,
+    corpus_to_stream,
+)
+from repro.training.trainer import train_lm
+from repro.zoo.registry import ZooSpec, get_spec
+
+__all__ = [
+    "WORLD_SEED",
+    "artifacts_dir",
+    "default_world",
+    "default_tokenizer",
+    "load_model",
+    "build_model",
+    "cache_path",
+]
+
+WORLD_SEED = 2025
+_CORPUS_SEED = 31337
+CORPUS_VERSION = 2
+"""Bump when task generators change: the cache key must capture corpus
+*content*, which is code-derived and invisible to the spec hash."""
+
+
+def artifacts_dir() -> Path:
+    """Weight-cache directory (override with ``REPRO_ARTIFACTS``)."""
+    env = os.environ.get("REPRO_ARTIFACTS")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "artifacts"
+
+
+def default_world() -> World:
+    return World(seed=WORLD_SEED)
+
+
+def default_tokenizer(world: World | None = None) -> Tokenizer:
+    return build_tokenizer(world or default_world())
+
+
+def _spec_hash(spec: ZooSpec, vocab_size: int) -> str:
+    payload = json.dumps(
+        {
+            "spec": asdict(spec),
+            "vocab": vocab_size,
+            "world": WORLD_SEED,
+            "corpus": CORPUS_VERSION,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def cache_path(name: str, directory: Path | None = None) -> Path:
+    world = default_world()
+    tokenizer = default_tokenizer(world)
+    spec = get_spec(name)
+    directory = directory or artifacts_dir()
+    return directory / f"{name}-{_spec_hash(spec, len(tokenizer))}.npz"
+
+
+def _build_stream(
+    spec: ZooSpec, world: World, tokenizer: Tokenizer
+) -> np.ndarray:
+    tasks = all_tasks(world)
+    rng = np.random.default_rng([_CORPUS_SEED, spec.init_seed])
+    if spec.corpus == "mixed":
+        docs = build_mixed_corpus(tasks, rng, spec.corpus_docs)
+    else:
+        matching = [t for t in tasks if t.name == spec.corpus]
+        if not matching:
+            raise KeyError(f"no task named {spec.corpus!r} for {spec.name}")
+        docs = matching[0].training_texts(rng, spec.corpus_docs)
+    return corpus_to_stream(docs, tokenizer)
+
+
+def build_model(
+    name: str,
+    directory: Path | None = None,
+    verbose: bool = True,
+) -> ParamStore:
+    """Train the named model (recursively building its base first)."""
+    spec = get_spec(name)
+    world = default_world()
+    tokenizer = default_tokenizer(world)
+    if spec.base is not None:
+        base_store = load_model(spec.base, directory=directory, verbose=verbose)
+        model = TransformerLM.from_store(base_store)
+    else:
+        config = spec.model_config(len(tokenizer))
+        model = TransformerLM(config, seed=spec.init_seed)
+    stream = _build_stream(spec, world, tokenizer)
+    t0 = time.time()
+
+    def log(step: int, loss: float) -> None:
+        if verbose:
+            print(
+                f"[zoo:{name}] step {step:5d} loss {loss:6.3f}"
+                f" ({time.time() - t0:6.1f}s)",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    result = train_lm(model, stream, spec.train_config(), on_step=log)
+    if verbose:
+        print(
+            f"[zoo:{name}] done: final loss"
+            f" {result.smoothed_final():.3f} in {time.time() - t0:.1f}s",
+            file=sys.stderr,
+            flush=True,
+        )
+    return model.to_store()
+
+
+def load_model(
+    name: str,
+    directory: Path | None = None,
+    verbose: bool = True,
+    rebuild: bool = False,
+) -> ParamStore:
+    """Load the named model from cache, building (and caching) on miss."""
+    path = cache_path(name, directory)
+    if path.exists() and not rebuild:
+        return ParamStore.load(path)
+    store = build_model(name, directory=directory, verbose=verbose)
+    store.save(path)
+    return store

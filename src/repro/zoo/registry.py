@@ -1,0 +1,165 @@
+"""Model zoo registry: the study's model roster (paper §3.3.1).
+
+Paper model -> zoo analogue (all trained from scratch on the synthetic
+world; names keep the paper's families recognizable):
+
+========================  ==========================================
+Paper                     Zoo name
+==========================  ==========================================
+Qwen2.5-7B-Instruct       ``qwenlike-base``
+Llama3.1-8B-Instruct      ``llamalike-base``
+Falcon3-7B-Instruct       ``falconlike-base``
+Qwen2.5 1.5B/3B/14B/32B   ``qwenlike-{tiny,small,large,xl}`` (scale sweep)
+ALMA-7B (translation FT)  ``alma-base``   (fine-tuned from llamalike)
+Llama3.1-Summarizer       ``summarizer-base`` (fine-tuned from llamalike)
+Llama-3.2-8X3B MoE        ``moelike-base`` (8 experts, top-2)
+Llama-3.2-3B dense        ``denselike-base`` (the MoE's dense twin)
+==========================  ==========================================
+
+The three general-purpose families share the architecture but differ in
+initialization gain, weight decay and seed, producing the distinct
+weight/activation distributions the paper observes (Fig. 13):
+``falconlike`` has the widest distribution (and in the paper the
+highest stability), ``llamalike`` the narrowest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.config import ModelConfig
+from repro.training.trainer import TrainConfig
+
+__all__ = ["ZooSpec", "ZOO", "zoo_names", "get_spec"]
+
+
+@dataclass(frozen=True)
+class ZooSpec:
+    """Everything needed to build one zoo model deterministically."""
+
+    name: str
+    d_model: int
+    n_heads: int
+    n_blocks: int
+    d_ff: int
+    init_gain: float = 1.0
+    init_seed: int = 0
+    n_experts: int = 0
+    top_k: int = 2
+    family: str = "generic"
+    steps: int = 1800
+    lr: float = 3e-3
+    weight_decay: float = 0.01
+    batch_size: int = 16
+    seq_len: int = 64
+    corpus: str = "mixed"
+    """``"mixed"`` for general-purpose pretraining or a task name for
+    single-task fine-tuning."""
+    base: str | None = None
+    """Zoo name of the model this one is fine-tuned from."""
+    corpus_docs: int = 9000
+
+    def model_config(self, vocab_size: int, max_seq: int = 160) -> ModelConfig:
+        return ModelConfig(
+            vocab_size=vocab_size,
+            d_model=self.d_model,
+            n_heads=self.n_heads,
+            n_blocks=self.n_blocks,
+            d_ff=self.d_ff,
+            max_seq=max_seq,
+            n_experts=self.n_experts,
+            top_k=self.top_k,
+            init_gain=self.init_gain,
+            family=self.family,
+        )
+
+    def train_config(self) -> TrainConfig:
+        return TrainConfig(
+            steps=self.steps,
+            batch_size=self.batch_size,
+            seq_len=self.seq_len,
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+            warmup_steps=max(20, self.steps // 20),
+            seed=self.init_seed + 7,
+        )
+
+
+_SPECS = [
+    # General-purpose families (Fig. 3 / Fig. 13).
+    ZooSpec(
+        name="qwenlike-base", family="qwenlike",
+        d_model=64, n_heads=4, n_blocks=4, d_ff=128,
+        init_gain=1.0, init_seed=11, steps=2200,
+    ),
+    ZooSpec(
+        name="llamalike-base", family="llamalike",
+        d_model=64, n_heads=4, n_blocks=4, d_ff=128,
+        init_gain=0.7, init_seed=22, steps=2200, weight_decay=0.02,
+    ),
+    ZooSpec(
+        name="falconlike-base", family="falconlike",
+        d_model=64, n_heads=4, n_blocks=4, d_ff=128,
+        init_gain=1.6, init_seed=33, steps=2200, weight_decay=0.0,
+    ),
+    # Scale sweep (Fig. 16) - one family, five sizes.
+    ZooSpec(
+        name="qwenlike-tiny", family="qwenlike",
+        d_model=32, n_heads=4, n_blocks=3, d_ff=64,
+        init_seed=11, steps=1400,
+    ),
+    ZooSpec(
+        name="qwenlike-small", family="qwenlike",
+        d_model=48, n_heads=4, n_blocks=3, d_ff=96,
+        init_seed=11, steps=1400,
+    ),
+    ZooSpec(
+        name="qwenlike-large", family="qwenlike",
+        d_model=80, n_heads=4, n_blocks=5, d_ff=160,
+        init_seed=11, steps=1300,
+    ),
+    ZooSpec(
+        name="qwenlike-xl", family="qwenlike",
+        d_model=96, n_heads=6, n_blocks=6, d_ff=192,
+        init_seed=11, steps=1000,
+    ),
+    # MoE vs dense twin (Figs 14/15).
+    ZooSpec(
+        name="moelike-base", family="moelike",
+        d_model=64, n_heads=4, n_blocks=4, d_ff=64,
+        n_experts=8, top_k=2, init_seed=44, steps=1400,
+    ),
+    ZooSpec(
+        name="denselike-base", family="denselike",
+        d_model=64, n_heads=4, n_blocks=4, d_ff=64,
+        init_seed=44, steps=2000,
+    ),
+    # Fine-tuned task models (Fig. 3d / Fig. 18).
+    ZooSpec(
+        name="alma-base", family="llamalike",
+        d_model=64, n_heads=4, n_blocks=4, d_ff=128,
+        init_gain=0.7, init_seed=22,
+        base="llamalike-base", corpus="wmt16",
+        steps=700, lr=1e-3, corpus_docs=4000,
+    ),
+    ZooSpec(
+        name="summarizer-base", family="llamalike",
+        d_model=64, n_heads=4, n_blocks=4, d_ff=128,
+        init_gain=0.7, init_seed=22,
+        base="llamalike-base", corpus="xlsum",
+        steps=700, lr=1e-3, corpus_docs=4000,
+    ),
+]
+
+ZOO: dict[str, ZooSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def zoo_names() -> list[str]:
+    return list(ZOO)
+
+
+def get_spec(name: str) -> ZooSpec:
+    try:
+        return ZOO[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown zoo model {name!r}; known: {zoo_names()}") from exc

@@ -1,0 +1,145 @@
+"""Tests for the statistical fault-injection campaign runner."""
+
+import numpy as np
+import pytest
+
+from repro.fi import FaultModel, FICampaign, Outcome
+from repro.generation import GenerationConfig
+from repro.tasks import GSM8kTask, MMLUTask, TranslationTask, standardized_subset
+
+
+def _mc_campaign(engine, tokenizer, world, fault_model=FaultModel.MEM_2BIT, **kw):
+    task = MMLUTask(world)
+    return FICampaign(
+        engine=engine,
+        tokenizer=tokenizer,
+        task_name=task.name,
+        metrics=task.metrics,
+        examples=standardized_subset(task, 4),
+        fault_model=fault_model,
+        seed=5,
+        **kw,
+    )
+
+
+def _gen_campaign(engine, tokenizer, world, task_cls=TranslationTask, **kw):
+    task = task_cls(world)
+    return FICampaign(
+        engine=engine,
+        tokenizer=tokenizer,
+        task_name=task.name,
+        metrics=task.metrics,
+        examples=standardized_subset(task, 3),
+        fault_model=kw.pop("fault_model", FaultModel.COMP_2BIT),
+        seed=5,
+        generation=GenerationConfig(
+            max_new_tokens=task.max_new_tokens, eos_id=tokenizer.vocab.eos_id
+        ),
+        **kw,
+    )
+
+
+class TestMCCampaign:
+    def test_runs_and_aggregates(self, untrained_engine, tokenizer, world):
+        result = _mc_campaign(untrained_engine, tokenizer, world).run(10)
+        assert result.n_trials == 10
+        assert "accuracy" in result.baseline
+        assert 0.0 <= result.sdc_rate <= 1.0
+        assert len(result.trials) == 10
+
+    def test_deterministic(self, untrained_engine, tokenizer, world):
+        a = _mc_campaign(untrained_engine, tokenizer, world).run(8)
+        b = _mc_campaign(untrained_engine, tokenizer, world).run(8)
+        assert [t.site for t in a.trials] == [t.site for t in b.trials]
+        assert [t.prediction for t in a.trials] == [t.prediction for t in b.trials]
+
+    def test_engine_restored_after_run(self, untrained_engine, tokenizer, world):
+        before = untrained_engine.weight_store("blocks.0.up_proj").array.copy()
+        _mc_campaign(untrained_engine, tokenizer, world).run(6)
+        np.testing.assert_array_equal(
+            untrained_engine.weight_store("blocks.0.up_proj").array, before
+        )
+        assert len(untrained_engine.hooks) == 0
+
+    def test_requires_examples(self, untrained_engine, tokenizer, world):
+        task = MMLUTask(world)
+        with pytest.raises(ValueError):
+            FICampaign(
+                engine=untrained_engine,
+                tokenizer=tokenizer,
+                task_name=task.name,
+                metrics=task.metrics,
+                examples=[],
+                fault_model=FaultModel.MEM_2BIT,
+            )
+
+
+class TestGenerativeCampaign:
+    def test_runs_with_metrics(self, untrained_engine, tokenizer, world):
+        result = _gen_campaign(untrained_engine, tokenizer, world).run(6)
+        assert set(result.baseline) == {"bleu", "chrf"}
+        assert set(result.faulty) == {"bleu", "chrf"}
+        for metric, ci in result.normalized.items():
+            assert np.isnan(ci.ratio) or ci.ratio >= 0.0
+
+    def test_outcome_classification_populated(
+        self, untrained_engine, tokenizer, world
+    ):
+        result = _gen_campaign(untrained_engine, tokenizer, world).run(6)
+        assert all(isinstance(t.outcome, Outcome) for t in result.trials)
+        breakdown = result.sdc_breakdown()
+        assert 0.0 <= breakdown["subtle"] + breakdown["distorted"] <= 1.0
+
+    def test_bit_grouping(self, untrained_engine, tokenizer, world):
+        result = _gen_campaign(untrained_engine, tokenizer, world).run(12)
+        table = result.outcomes_by_highest_bit()
+        assert sum(sum(v.values()) for v in table.values()) == 12
+        for bit in table:
+            assert 0 <= bit < 32
+
+    def test_gsm8k_uses_direct_answer_classification(
+        self, trained_engine, tokenizer, world
+    ):
+        result = _gen_campaign(
+            trained_engine,
+            tokenizer,
+            world,
+            task_cls=GSM8kTask,
+            fault_model=FaultModel.MEM_2BIT,
+        ).run(6)
+        assert "accuracy" in result.baseline
+
+    def test_max_fault_iterations_cap(self, untrained_engine, tokenizer, world):
+        campaign = _gen_campaign(
+            untrained_engine, tokenizer, world, max_fault_iterations=2
+        )
+        result = campaign.run(12)
+        assert all(t.site.iteration < 2 for t in result.trials)
+
+    def test_selection_tracking_moe(self, moe_engine, tokenizer, world):
+        campaign = _gen_campaign(
+            moe_engine,
+            tokenizer,
+            world,
+            fault_model=FaultModel.MEM_2BIT,
+            track_expert_selection=True,
+        )
+        result = campaign.run(5)
+        assert all(t.selection_changed in (True, False) for t in result.trials)
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self, untrained_store, tokenizer, world):
+        """Process-pool execution returns bit-identical trials."""
+        from repro.inference import InferenceEngine
+
+        serial = _mc_campaign(
+            InferenceEngine(untrained_store), tokenizer, world
+        ).run(6, n_workers=0)
+        parallel = _mc_campaign(
+            InferenceEngine(untrained_store), tokenizer, world
+        ).run(6, n_workers=2)
+        assert [t.site for t in serial.trials] == [t.site for t in parallel.trials]
+        assert [t.prediction for t in serial.trials] == [
+            t.prediction for t in parallel.trials
+        ]

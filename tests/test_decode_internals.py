@@ -1,0 +1,115 @@
+"""Deeper tests of decoding internals and campaign bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.fi import FaultModel, FICampaign
+from repro.generation import GenerationConfig, beam_search_decode, greedy_decode
+from repro.generation.decode import _Beam
+from repro.numerics.stats import RatioCI
+from repro.tasks import MMLUTask, TranslationTask, standardized_subset
+
+
+class TestBeamInternals:
+    def test_length_normalization(self):
+        beam = _Beam(session=None, tokens=[1, 2, 3, 4], score=-4.0, finished=False)
+        assert beam.normalized(1.0) == pytest.approx(-1.0)
+        assert beam.normalized(0.0) == pytest.approx(-4.0)
+
+    def test_empty_beam_normalization_safe(self):
+        beam = _Beam(session=None, tokens=[], score=-1.0, finished=False)
+        assert np.isfinite(beam.normalized(1.0))
+
+    def test_eos_terminates_beam(self, untrained_engine):
+        """Forcing EOS as the argmax stops generation immediately."""
+        vocab = untrained_engine.config.vocab_size
+
+        def force_eos(out, ctx):
+            return out
+
+        cfg = GenerationConfig(max_new_tokens=6, num_beams=2, eos_id=2)
+        result = beam_search_decode(untrained_engine, [3, 4], cfg)
+        assert len(result) <= 6
+        assert 2 not in result  # EOS is never emitted as content
+
+    def test_beam_wider_explores_no_worse_prefix(self, untrained_engine):
+        cfg2 = GenerationConfig(max_new_tokens=4, num_beams=2, eos_id=2)
+        cfg6 = GenerationConfig(max_new_tokens=4, num_beams=6, eos_id=2)
+        out2 = beam_search_decode(untrained_engine, [5, 9], cfg2)
+        out6 = beam_search_decode(untrained_engine, [5, 9], cfg6)
+        assert isinstance(out2, list) and isinstance(out6, list)
+
+    def test_greedy_emits_no_eos(self, untrained_engine):
+        cfg = GenerationConfig(max_new_tokens=10, eos_id=2)
+        out = greedy_decode(untrained_engine, [7, 3], cfg)
+        assert 2 not in out
+
+
+class TestCampaignBookkeeping:
+    def _mc(self, engine, tokenizer, world, n_examples=3):
+        task = MMLUTask(world)
+        return FICampaign(
+            engine=engine,
+            tokenizer=tokenizer,
+            task_name=task.name,
+            metrics=task.metrics,
+            examples=standardized_subset(task, n_examples),
+            fault_model=FaultModel.MEM_2BIT,
+            seed=2,
+        )
+
+    def test_examples_cycle_round_robin(self, untrained_engine, tokenizer, world):
+        result = self._mc(untrained_engine, tokenizer, world).run(7)
+        indices = [t.example_index for t in result.trials]
+        assert indices == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_baseline_cached(self, untrained_engine, tokenizer, world):
+        campaign = self._mc(untrained_engine, tokenizer, world)
+        first = campaign.compute_baseline()
+        assert campaign.compute_baseline() is first
+
+    def test_per_example_baseline_mc(self, untrained_engine, tokenizer, world):
+        campaign = self._mc(untrained_engine, tokenizer, world)
+        campaign.compute_baseline()
+        for idx in range(3):
+            value = campaign._per_example_baseline("accuracy", idx)
+            assert value in (0.0, 100.0)
+
+    def test_gen_campaign_normalized_uses_per_example_base(
+        self, untrained_engine, tokenizer, world
+    ):
+        task = TranslationTask(world)
+        campaign = FICampaign(
+            engine=untrained_engine,
+            tokenizer=tokenizer,
+            task_name=task.name,
+            metrics=task.metrics,
+            examples=standardized_subset(task, 2),
+            fault_model=FaultModel.COMP_1BIT,
+            seed=3,
+            generation=GenerationConfig(max_new_tokens=6, eos_id=2),
+        )
+        result = campaign.run(4)
+        for ci in result.normalized.values():
+            assert isinstance(ci, RatioCI)
+
+    def test_trial_sites_seed_namespaced(self, untrained_engine, tokenizer, world):
+        a = self._mc(untrained_engine, tokenizer, world)
+        b = self._mc(untrained_engine, tokenizer, world)
+        b.seed = 99
+        a.compute_baseline()
+        b.compute_baseline()
+        site_a = a._trial_site(0, 1)
+        site_b = b._trial_site(0, 1)
+        assert site_a != site_b
+
+
+class TestRatioCI:
+    def test_margin(self):
+        ci = RatioCI(0.9, 0.8, 1.0)
+        assert ci.margin == pytest.approx(0.1)
+
+    def test_contains(self):
+        ci = RatioCI(0.9, 0.8, 1.0)
+        assert 0.85 in ci
+        assert 1.1 not in ci

@@ -1,0 +1,179 @@
+"""Tests for the fast inference engine: parity, caching, hooks, storage."""
+
+import numpy as np
+import pytest
+
+from repro.inference import (
+    CaptureState,
+    FloatWeightStore,
+    InferenceEngine,
+    KVCache,
+    QuantizedWeightStore,
+    make_weight_store,
+)
+from repro.model import ModelConfig, TransformerLM
+
+TOKENS = [1, 5, 7, 2, 9, 11, 3]
+
+
+class TestParity:
+    def test_matches_training_forward(self, untrained_store):
+        engine = InferenceEngine(untrained_store)
+        model = TransformerLM.from_store(untrained_store)
+        expected, _ = model.forward(np.asarray([TOKENS]))
+        actual = engine.forward_full(TOKENS)
+        np.testing.assert_allclose(actual, expected.data[0], atol=1e-4)
+
+    def test_incremental_matches_full(self, untrained_engine):
+        session = untrained_engine.start_session(TOKENS[:3])
+        incremental = [session.last_logits.copy()]
+        for token in TOKENS[3:]:
+            incremental.append(session.step(token).copy())
+        full = untrained_engine.forward_full(TOKENS)
+        for i, logits in enumerate(incremental):
+            np.testing.assert_allclose(logits, full[2 + i], atol=1e-4)
+
+    def test_moe_incremental_matches_full(self, moe_engine):
+        session = moe_engine.start_session(TOKENS[:4])
+        stepped = session.step(TOKENS[4])
+        full = moe_engine.forward_full(TOKENS[:5])
+        np.testing.assert_allclose(stepped, full[4], atol=1e-4)
+
+    def test_moe_matches_training_forward(self, moe_store):
+        engine = InferenceEngine(moe_store)
+        model = TransformerLM.from_store(moe_store)
+        expected, _ = model.forward(np.asarray([TOKENS]))
+        np.testing.assert_allclose(
+            engine.forward_full(TOKENS), expected.data[0], atol=1e-4
+        )
+
+    def test_session_fork_independent(self, untrained_engine):
+        session = untrained_engine.start_session(TOKENS[:3])
+        fork = session.fork()
+        a = session.step(4)
+        b = fork.step(8)
+        assert not np.allclose(a, b)
+        # Fork positions advanced independently.
+        assert session.position == fork.position == 4
+
+
+class TestKVCache:
+    def test_append_and_views(self):
+        cache = KVCache(2, 8, 4)
+        cache.append(np.ones((2, 3, 4)), np.ones((2, 3, 4)))
+        assert cache.length == 3
+        assert cache.keys().shape == (2, 3, 4)
+
+    def test_overflow_raises(self):
+        cache = KVCache(1, 2, 4)
+        with pytest.raises(ValueError):
+            cache.append(np.ones((1, 3, 4)), np.ones((1, 3, 4)))
+
+    def test_truncate_and_clone(self):
+        cache = KVCache(1, 8, 2)
+        cache.append(np.ones((1, 4, 2)), np.ones((1, 4, 2)))
+        clone = cache.clone()
+        cache.truncate(2)
+        assert cache.length == 2 and clone.length == 4
+        with pytest.raises(ValueError):
+            cache.truncate(5)
+
+
+class TestHooks:
+    def test_hook_fires_and_modifies(self, untrained_engine):
+        calls = []
+
+        def hook(out, ctx):
+            calls.append((ctx.block, ctx.layer, ctx.iteration))
+            out[...] = 0.0
+            return out
+
+        remove = untrained_engine.hooks.register("blocks.0.up_proj", hook)
+        baseline = untrained_engine.forward_full(TOKENS)
+        remove()
+        clean = untrained_engine.forward_full(TOKENS)
+        assert calls == [(0, "up_proj", 0)]
+        assert not np.allclose(baseline, clean)
+
+    def test_hook_iteration_counter(self, untrained_engine):
+        seen = []
+        untrained_engine.hooks.register(
+            "blocks.0.q_proj", lambda out, ctx: seen.append(ctx.iteration)
+        )
+        session = untrained_engine.start_session(TOKENS[:3])
+        session.step(1)
+        session.step(2)
+        untrained_engine.hooks.clear()
+        assert seen == [0, 1, 2]
+
+    def test_capture_layers(self, untrained_engine):
+        untrained_engine.capture = CaptureState()
+        untrained_engine.forward_full(TOKENS)
+        outputs = untrained_engine.capture.layer_outputs
+        untrained_engine.capture = None
+        assert "blocks.0.q_proj" in outputs
+        assert "blocks.1.down_proj" in outputs
+        assert outputs["blocks.0.q_proj"].shape == (len(TOKENS), 32)
+
+    def test_moe_expert_selection_capture(self, moe_engine):
+        moe_engine.capture = CaptureState()
+        moe_engine.forward_full(TOKENS)
+        selections = moe_engine.capture.expert_selections
+        moe_engine.capture = None
+        assert (0, 0) in selections
+        top = selections[(0, 0)]
+        assert top.shape == (len(TOKENS), 2)  # top-2 of 4 experts
+        assert top.max() < 4
+
+
+class TestStoragePolicies:
+    def test_weight_store_lookup(self, untrained_engine):
+        store = untrained_engine.weight_store("blocks.0.q_proj")
+        assert store.shape == (32, 32)
+        with pytest.raises(KeyError):
+            untrained_engine.weight_store("embed")
+
+    @pytest.mark.parametrize("policy", ["fp32", "fp16", "bf16", "int8", "int4"])
+    def test_policies_build_and_run(self, untrained_store, policy):
+        engine = InferenceEngine(untrained_store, weight_policy=policy)
+        logits = engine.forward_full(TOKENS)
+        assert np.isfinite(logits).all()
+
+    def test_quantized_close_to_fp32(self, untrained_store):
+        base = InferenceEngine(untrained_store).forward_full(TOKENS)
+        q8 = InferenceEngine(untrained_store, weight_policy="int8").forward_full(
+            TOKENS
+        )
+        q4 = InferenceEngine(untrained_store, weight_policy="int4").forward_full(
+            TOKENS
+        )
+        err8 = np.abs(q8 - base).mean()
+        err4 = np.abs(q4 - base).mean()
+        assert err8 < err4  # 8-bit is a tighter approximation
+
+    def test_float_store_flip_restore(self):
+        w = np.random.default_rng(0).normal(size=(8, 4)).astype(np.float32)
+        store = FloatWeightStore(w, "bf16")
+        before = store.array.copy()
+        token = store.flip_element_bits(2, 1, [14])
+        assert store.array[2, 1] != before[2, 1]
+        assert (store.array != before).sum() == 1  # exactly one element
+        store.restore(token)
+        np.testing.assert_array_equal(store.array, before)
+
+    def test_quantized_store_flip_restore(self):
+        w = np.random.default_rng(1).normal(size=(64, 4)).astype(np.float32)
+        store = QuantizedWeightStore(w, nbits=4)
+        before = store.array.copy()
+        token = store.flip_element_bits(5, 2, [3])
+        assert store.array[5, 2] != before[5, 2]
+        store.restore(token)
+        np.testing.assert_array_equal(store.array, before)
+
+    def test_make_weight_store_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            make_weight_store(np.zeros((2, 2), np.float32), "fp8")
+
+    def test_activation_format_defaults(self, untrained_store):
+        assert InferenceEngine(untrained_store, "bf16").activation_format == "bf16"
+        assert InferenceEngine(untrained_store, "int4").activation_format == "fp32"

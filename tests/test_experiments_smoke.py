@@ -1,0 +1,64 @@
+"""End-to-end smoke tests of the experiment runners on a throwaway zoo.
+
+The real zoo models take minutes to train; these tests shrink every
+spec to ~20 steps (cached in a temp dir via ``REPRO_ARTIFACTS``) and
+run a few representative experiments with minimal budgets, verifying
+the full harness path: zoo build -> engine -> campaign -> result table.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.harness import ExperimentContext
+from repro.harness.experiments import (
+    fig05_memory_propagation,
+    fig06_computational_propagation,
+    fig15_gate_faults,
+    fig17_quantization,
+    fig20_chain_of_thought,
+)
+from repro.zoo import ZOO
+
+
+@pytest.fixture()
+def tiny_zoo_ctx(tmp_path, monkeypatch) -> ExperimentContext:
+    for name, spec in list(ZOO.items()):
+        monkeypatch.setitem(
+            ZOO, name, dataclasses.replace(spec, steps=20, corpus_docs=250)
+        )
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+    return ExperimentContext(n_examples=2, n_trials=4, seed=3)
+
+
+def test_fig05_smoke(tiny_zoo_ctx):
+    result = fig05_memory_propagation(tiny_zoo_ctx)
+    assert result.rows[0]["corrupted_columns"] == 1
+    assert result.rows[1]["corrupted_fraction"] > 0.5
+
+
+def test_fig06_smoke(tiny_zoo_ctx):
+    result = fig06_computational_propagation(tiny_zoo_ctx)
+    assert result.rows[0]["corrupted_rows"] == 1
+
+
+def test_fig17_smoke(tiny_zoo_ctx):
+    result = fig17_quantization(tiny_zoo_ctx, tasks=("mmlu",))
+    variants = {row["variant"] for row in result.rows}
+    assert variants == {"BF16", "GPTQ-8bit", "GPTQ-4bit"}
+    for row in result.rows:
+        assert np.isnan(row["normalized"]) or row["normalized"] >= 0.0
+
+
+def test_fig15_smoke(tiny_zoo_ctx):
+    result = fig15_gate_faults(tiny_zoo_ctx, n_trials=4)
+    row = result.rows[0]
+    assert row["trials"] == 4
+    assert 0.0 <= row["selection_changed_rate"] <= 1.0
+
+
+def test_fig20_smoke(tiny_zoo_ctx):
+    result = fig20_chain_of_thought(tiny_zoo_ctx, models=("qwenlike-base",))
+    modes = {(row["mode"], row["fault"]) for row in result.rows}
+    assert len(modes) == 4  # {cot, direct} x {comp, mem}

@@ -1,0 +1,129 @@
+"""Tests for post-campaign vulnerability aggregation."""
+
+import pytest
+
+from repro.fi import FaultModel, FaultSite, Outcome
+from repro.fi.analysis import (
+    GroupVulnerability,
+    by_bit_role,
+    by_block,
+    by_layer_type,
+    most_vulnerable,
+)
+from repro.fi.campaign import CampaignResult, TrialRecord
+
+
+def _trial(layer: str, bits: tuple[int, ...], sdc: bool) -> TrialRecord:
+    return TrialRecord(
+        site=FaultSite(FaultModel.MEM_2BIT, layer, 0, 0, bits=bits),
+        example_index=0,
+        prediction="x",
+        outcome=Outcome.SDC_SUBTLE if sdc else Outcome.MASKED,
+        metrics={},
+    )
+
+
+def _result(trials) -> CampaignResult:
+    return CampaignResult(
+        task_name="t",
+        fault_model=FaultModel.MEM_2BIT,
+        n_trials=len(trials),
+        baseline={},
+        faulty={},
+        normalized={},
+        trials=trials,
+    )
+
+
+class TestAggregation:
+    def test_by_layer_type(self):
+        trials = [
+            _trial("blocks.0.up_proj", (14,), True),
+            _trial("blocks.1.up_proj", (14,), True),
+            _trial("blocks.0.q_proj", (14,), False),
+            _trial("blocks.0.q_proj", (2,), False),
+        ]
+        groups = by_layer_type(_result(trials))
+        assert groups[0].group == "up_proj"
+        assert groups[0].sdc_rate == 1.0
+        by_name = {g.group: g for g in groups}
+        assert by_name["q_proj"].sdc_rate == 0.0
+        assert by_name["q_proj"].trials == 2
+
+    def test_by_block(self):
+        trials = [
+            _trial("blocks.0.up_proj", (14,), False),
+            _trial("blocks.3.up_proj", (14,), True),
+        ]
+        by_name = {g.group: g for g in by_block(_result(trials))}
+        assert by_name["block3"].sdc_rate == 1.0
+        assert by_name["block0"].sdc_rate == 0.0
+
+    def test_by_bit_role_bf16(self):
+        trials = [
+            _trial("blocks.0.up_proj", (15,), False),   # sign
+            _trial("blocks.0.up_proj", (14, 3), True),  # exponent
+            _trial("blocks.0.up_proj", (6, 2), False),  # mantissa
+        ]
+        by_name = {
+            g.group: g
+            for g in by_bit_role(_result(trials), n_storage_bits=16, man_bits=7)
+        }
+        assert by_name["sign"].trials == 1
+        assert by_name["exponent"].sdcs == 1
+        assert by_name["mantissa"].sdc_rate == 0.0
+
+    def test_sorted_by_rate(self):
+        trials = [
+            _trial("blocks.0.q_proj", (14,), False),
+            _trial("blocks.0.up_proj", (14,), True),
+        ]
+        groups = by_layer_type(_result(trials))
+        rates = [g.sdc_rate for g in groups]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestGroupVulnerability:
+    def test_interval_brackets_rate(self):
+        g = GroupVulnerability("x", trials=40, sdcs=10)
+        lo, hi = g.interval
+        assert lo < g.sdc_rate < hi
+
+    def test_empty_group(self):
+        g = GroupVulnerability("x", trials=0, sdcs=0)
+        assert g.sdc_rate == 0.0
+        assert g.interval == (0.0, 1.0)
+
+    def test_most_vulnerable_respects_min_trials(self):
+        groups = [
+            GroupVulnerability("tiny-sample", trials=1, sdcs=1),
+            GroupVulnerability("solid", trials=50, sdcs=20),
+        ]
+        top = most_vulnerable(groups, min_trials=5)
+        assert top is not None and top.group == "solid"
+
+    def test_most_vulnerable_none(self):
+        assert most_vulnerable([], min_trials=5) is None
+
+
+class TestOnRealCampaign:
+    def test_profiles_from_live_campaign(self, untrained_engine, tokenizer, world):
+        from repro.fi import FICampaign
+        from repro.tasks import MMLUTask, standardized_subset
+
+        task = MMLUTask(world)
+        result = FICampaign(
+            engine=untrained_engine,
+            tokenizer=tokenizer,
+            task_name=task.name,
+            metrics=task.metrics,
+            examples=standardized_subset(task, 3),
+            fault_model=FaultModel.MEM_2BIT,
+            seed=1,
+        ).run(20)
+        layer_groups = by_layer_type(result)
+        assert sum(g.trials for g in layer_groups) == 20
+        block_groups = by_block(result)
+        assert sum(g.trials for g in block_groups) == 20
+        roles = by_bit_role(result, n_storage_bits=32, man_bits=23)
+        assert sum(g.trials for g in roles) == 20

@@ -1,0 +1,140 @@
+"""Tests for memory and computational fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.fi import (
+    ComputationalFaultInjector,
+    FaultModel,
+    FaultSite,
+    MemoryFaultInjector,
+    inject,
+)
+
+TOKENS = [1, 4, 9, 2, 6]
+
+
+def _mem_site(layer="blocks.0.up_proj", row=3, col=5, bits=(30, 2)):
+    return FaultSite(FaultModel.MEM_2BIT, layer, row, col, bits=bits)
+
+
+def _comp_site(layer="blocks.0.up_proj", col=5, bits=(30,), iteration=0):
+    return FaultSite(
+        FaultModel.COMP_1BIT, layer, 0, col, bits=bits,
+        iteration=iteration, row_frac=0.5,
+    )
+
+
+class TestMemoryInjector:
+    def test_corrupts_then_restores_exactly(self, untrained_engine):
+        site = _mem_site()
+        store = untrained_engine.weight_store(site.layer_name)
+        pristine = store.array.copy()
+        baseline = untrained_engine.forward_full(TOKENS)
+        with MemoryFaultInjector(untrained_engine, site):
+            faulty = untrained_engine.forward_full(TOKENS)
+            assert store.array[site.row, site.col] != pristine[site.row, site.col]
+        np.testing.assert_array_equal(store.array, pristine)
+        np.testing.assert_array_equal(
+            untrained_engine.forward_full(TOKENS), baseline
+        )
+        assert not np.allclose(faulty, baseline)
+
+    def test_restores_on_exception(self, untrained_engine):
+        site = _mem_site()
+        store = untrained_engine.weight_store(site.layer_name)
+        pristine = store.array.copy()
+        with pytest.raises(RuntimeError):
+            with MemoryFaultInjector(untrained_engine, site):
+                raise RuntimeError("inference crashed")
+        np.testing.assert_array_equal(store.array, pristine)
+
+    def test_rejects_comp_model(self, untrained_engine):
+        with pytest.raises(ValueError):
+            MemoryFaultInjector(untrained_engine, _comp_site())
+
+    def test_persistent_across_iterations(self, untrained_engine):
+        """Memory faults affect every generation iteration (paper §4.3.2)."""
+        site = _mem_site(bits=(30, 28))
+        baseline = untrained_engine.start_session(TOKENS[:3])
+        base_logits = [baseline.last_logits.copy(), baseline.step(1).copy()]
+        with MemoryFaultInjector(untrained_engine, site):
+            faulty = untrained_engine.start_session(TOKENS[:3])
+            fault_logits = [faulty.last_logits.copy(), faulty.step(1).copy()]
+        assert not np.allclose(base_logits[0], fault_logits[0], equal_nan=True)
+        assert not np.allclose(base_logits[1], fault_logits[1], equal_nan=True)
+
+
+class TestComputationalInjector:
+    def test_one_shot_at_iteration(self, untrained_engine):
+        site = _comp_site(iteration=1)
+        baseline = untrained_engine.start_session(TOKENS[:3])
+        base0 = baseline.last_logits.copy()
+        base1 = baseline.step(2).copy()
+        base2 = baseline.step(3).copy()
+        with ComputationalFaultInjector(untrained_engine, site) as injector:
+            session = untrained_engine.start_session(TOKENS[:3])
+            out0 = session.last_logits.copy()
+            assert not injector.fired  # iteration 0 untouched
+            out1 = session.step(2).copy()
+            assert injector.fired  # fired at iteration 1
+            out2 = session.step(3).copy()
+        np.testing.assert_array_equal(out0, base0)
+        assert not np.allclose(out1, base1)
+        # KV cache carries the corruption forward even though the
+        # injector fired once.
+        assert not np.allclose(out2, base2)
+
+    def test_hook_removed_after_context(self, untrained_engine):
+        with ComputationalFaultInjector(untrained_engine, _comp_site()):
+            assert len(untrained_engine.hooks) == 1
+        assert len(untrained_engine.hooks) == 0
+        baseline = untrained_engine.forward_full(TOKENS)
+        np.testing.assert_array_equal(
+            untrained_engine.forward_full(TOKENS), baseline
+        )
+
+    def test_single_element_corruption(self, untrained_engine):
+        """Exactly one element of the hooked layer output changes."""
+        site = _comp_site(bits=(3,))
+        from repro.inference import CaptureState
+
+        untrained_engine.capture = CaptureState()
+        untrained_engine.forward_full(TOKENS)
+        clean = untrained_engine.capture.layer_outputs[site.layer_name]
+        untrained_engine.capture = CaptureState()
+        with ComputationalFaultInjector(untrained_engine, site):
+            untrained_engine.forward_full(TOKENS)
+        corrupted = untrained_engine.capture.layer_outputs[site.layer_name]
+        untrained_engine.capture = None
+        assert (clean != corrupted).sum() <= 1
+
+    def test_rejects_memory_model(self, untrained_engine):
+        with pytest.raises(ValueError):
+            ComputationalFaultInjector(untrained_engine, _mem_site())
+
+
+class TestInjectDispatch:
+    def test_dispatch(self, untrained_engine):
+        assert isinstance(
+            inject(untrained_engine, _mem_site()), MemoryFaultInjector
+        )
+        assert isinstance(
+            inject(untrained_engine, _comp_site()), ComputationalFaultInjector
+        )
+
+    @pytest.mark.parametrize("policy", ["bf16", "int4"])
+    def test_memory_injection_per_policy(self, untrained_store, policy):
+        from repro.inference import InferenceEngine
+
+        engine = InferenceEngine(untrained_store, weight_policy=policy)
+        width = engine.weight_store("blocks.0.up_proj").n_storage_bits
+        site = _mem_site(bits=(width - 1, 0))
+        pristine = engine.weight_store(site.layer_name).array.copy()
+        with inject(engine, site):
+            assert engine.weight_store(site.layer_name).array[
+                site.row, site.col
+            ] != pytest.approx(float(pristine[site.row, site.col]))
+        np.testing.assert_array_equal(
+            engine.weight_store(site.layer_name).array, pristine
+        )

@@ -1,0 +1,133 @@
+"""End-to-end integration tests: the paper's pipeline in miniature.
+
+These run real fault-injection campaigns on the briefly-trained session
+model.  Assertions are deliberately loose (low trial counts on a tiny
+model are noisy); the full-strength claims live in the benchmark
+harness over the zoo models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fi import FaultModel, FICampaign, Outcome
+from repro.generation import GenerationConfig, generate_ids
+from repro.tasks import (
+    GSM8kTask,
+    MMLUTask,
+    SummarizationTask,
+    TranslationTask,
+    standardized_subset,
+)
+
+
+def _campaign(engine, tokenizer, task, fault_model, n_examples=6, **kw):
+    return FICampaign(
+        engine=engine,
+        tokenizer=tokenizer,
+        task_name=task.name,
+        metrics=task.metrics,
+        examples=standardized_subset(task, n_examples),
+        fault_model=fault_model,
+        seed=11,
+        generation=GenerationConfig(
+            max_new_tokens=task.max_new_tokens, eos_id=tokenizer.vocab.eos_id
+        ),
+        **kw,
+    )
+
+
+class TestTrainedModelQuality:
+    """The substrate must have learned the tasks well enough that fault
+    effects are measurable against a meaningful baseline."""
+
+    def test_mc_baseline_above_chance(self, trained_engine, tokenizer, world):
+        camp = _campaign(
+            trained_engine, tokenizer, MMLUTask(world), FaultModel.MEM_2BIT,
+            n_examples=16,
+        )
+        assert camp.compute_baseline()["accuracy"] > 30.0  # chance = 25%
+
+    def test_translation_baseline_nonzero(self, trained_engine, tokenizer, world):
+        camp = _campaign(
+            trained_engine, tokenizer, TranslationTask(world), FaultModel.MEM_2BIT
+        )
+        baseline = camp.compute_baseline()
+        assert baseline["bleu"] > 5.0
+        assert baseline["chrf"] > 20.0
+
+    def test_generates_structured_text(self, trained_engine, tokenizer, world):
+        ex = standardized_subset(SummarizationTask(world), 1)[0]
+        ids = generate_ids(
+            trained_engine,
+            tokenizer.encode(ex.prompt),
+            GenerationConfig(max_new_tokens=18, eos_id=tokenizer.vocab.eos_id),
+        )
+        text = tokenizer.decode(ids)
+        assert len(text.split()) >= 3
+
+
+class TestEndToEndCampaigns:
+    def test_memory_campaign_produces_sdcs_and_masks(
+        self, trained_engine, tokenizer, world
+    ):
+        result = _campaign(
+            trained_engine, tokenizer, TranslationTask(world), FaultModel.MEM_2BIT
+        ).run(24)
+        outcomes = {t.outcome for t in result.trials}
+        # With 24 random 2-bit memory faults we expect both masked runs
+        # (low-bit flips) and at least one SDC (high-bit flips).
+        assert Outcome.MASKED in outcomes
+        assert any(o.is_sdc for o in outcomes)
+
+    def test_high_bits_cause_more_damage(self, trained_engine, tokenizer, world):
+        """Fig 9/10 mechanism: SDC trials concentrate on high bits."""
+        result = _campaign(
+            trained_engine, tokenizer, TranslationTask(world), FaultModel.MEM_2BIT
+        ).run(40)
+        sdc_bits = [t.site.highest_bit for t in result.trials if t.outcome.is_sdc]
+        masked_bits = [
+            t.site.highest_bit for t in result.trials if not t.outcome.is_sdc
+        ]
+        if sdc_bits and masked_bits:
+            assert np.mean(sdc_bits) > np.mean(masked_bits) - 4
+
+    def test_comp_fault_localized_in_time(self, trained_engine, tokenizer, world):
+        """A computational fault at a late iteration cannot change
+        tokens generated before it."""
+        task = SummarizationTask(world)
+        ex = standardized_subset(task, 1)[0]
+        prompt = tokenizer.encode(ex.prompt)
+        cfg = GenerationConfig(max_new_tokens=10, eos_id=tokenizer.vocab.eos_id)
+        baseline = generate_ids(trained_engine, prompt, cfg)
+        from repro.fi import ComputationalFaultInjector, FaultSite
+
+        site = FaultSite(
+            FaultModel.COMP_2BIT, "blocks.0.up_proj", 0, 3,
+            bits=(30, 29), iteration=5, row_frac=0.0,
+        )
+        with ComputationalFaultInjector(trained_engine, site):
+            faulty = generate_ids(trained_engine, prompt, cfg)
+        shared = min(5, len(baseline), len(faulty))
+        assert faulty[:shared] == baseline[:shared]
+
+    def test_gsm8k_outcome_classification(self, trained_engine, tokenizer, world):
+        result = _campaign(
+            trained_engine, tokenizer, GSM8kTask(world), FaultModel.MEM_2BIT
+        ).run(16)
+        breakdown = result.sdc_breakdown()
+        assert 0.0 <= breakdown["distorted"] <= 1.0
+        # Classification is exhaustive.
+        masked = sum(t.outcome is Outcome.MASKED for t in result.trials)
+        assert masked + sum(t.outcome.is_sdc for t in result.trials) == 16
+
+    def test_normalized_performance_bracketed(
+        self, trained_engine, tokenizer, world
+    ):
+        result = _campaign(
+            trained_engine, tokenizer, TranslationTask(world), FaultModel.COMP_1BIT
+        ).run(16)
+        for metric, ci in result.normalized.items():
+            if not np.isnan(ci.ratio):
+                assert ci.lower <= ci.ratio <= ci.upper
+                # Single 1-bit computational faults rarely halve quality.
+                assert ci.ratio > 0.2

@@ -1,0 +1,173 @@
+"""Tests for BLEU, chrF++, ROUGE, EM/F1 and the task scorer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    bleu,
+    chrf_pp,
+    corpus_bleu,
+    exact_match,
+    lcs_length,
+    normalize_answer,
+    rouge_1,
+    rouge_l,
+    score_generative,
+    token_f1,
+)
+from repro.tasks.base import GenExample
+
+_WORDS = st.lists(
+    st.sampled_from("the cat dog sees a red blue house tree".split()),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestBLEU:
+    def test_perfect_match_is_100(self):
+        toks = "the red cat sees the dog".split()
+        assert bleu(toks, toks) == pytest.approx(100.0)
+
+    def test_no_overlap_near_zero(self):
+        assert bleu("a b c d e".split(), "v w x y z".split()) < 5.0
+
+    def test_partial_order_sensitivity(self):
+        ref = "the cat sees the dog".split()
+        good = "the cat sees a dog".split()
+        scrambled = "dog the sees cat the".split()
+        assert bleu(good, ref) > bleu(scrambled, ref)
+
+    def test_brevity_penalty(self):
+        ref = "a b c d e f g h".split()
+        assert bleu("a b".split(), ref) < bleu("a b c d e f".split(), ref)
+
+    def test_corpus_validation(self):
+        with pytest.raises(ValueError):
+            corpus_bleu([["a"]], [])
+        with pytest.raises(ValueError):
+            corpus_bleu([], [])
+
+    def test_empty_hypothesis(self):
+        assert corpus_bleu([[]], [["a", "b"]]) == 0.0
+
+
+class TestChrF:
+    def test_perfect_match(self):
+        assert chrf_pp("the red cat", "the red cat") == pytest.approx(100.0)
+
+    def test_partial_beats_none(self):
+        ref = "the red cat sees"
+        assert chrf_pp("the red cat", ref) > chrf_pp("zzz qqq", ref)
+
+    def test_character_level_credit(self):
+        # chrF gives partial credit for near-miss words; BLEU-4 gives ~0.
+        ref = "translation"
+        assert chrf_pp("translations", ref) > 50.0
+
+    def test_empty_strings(self):
+        assert chrf_pp("", "abc") == 0.0
+
+
+class TestRouge:
+    def test_lcs_known(self):
+        assert lcs_length("a b c d".split(), "a c d".split()) == 3
+        assert lcs_length([], ["a"]) == 0
+        assert lcs_length("x y".split(), "a b".split()) == 0
+
+    def test_rouge1_order_insensitive(self):
+        ref = "alice visited paris".split()
+        assert rouge_1("paris visited alice".split(), ref) == pytest.approx(100.0)
+
+    def test_rougeL_order_sensitive(self):
+        ref = "alice visited paris on monday".split()
+        inorder = "alice visited paris".split()
+        reversed_ = "paris visited alice".split()
+        assert rouge_l(inorder, ref) > rouge_l(reversed_, ref)
+
+    def test_empty(self):
+        assert rouge_1([], ["a"]) == 0.0
+        assert rouge_l(["a"], []) == 0.0
+
+
+class TestSquadMetrics:
+    def test_normalization(self):
+        assert normalize_answer("The  Baker!") == "baker"
+
+    def test_exact_match(self):
+        assert exact_match("paris .", "Paris") == 1.0
+        assert exact_match("london", "paris") == 0.0
+
+    def test_f1_partial(self):
+        score = token_f1("works as a baker", "baker")
+        assert 0.0 < score < 100.0
+
+    def test_f1_empty_both(self):
+        assert token_f1("the", "a") == 100.0  # both normalize to empty
+
+
+class TestScoreGenerative:
+    def _examples(self):
+        return [
+            GenExample(prompt="p", reference="the answer is 7 .", meta={"final_answer": "7"}),
+            GenExample(prompt="p", reference="the answer is 3 .", meta={"final_answer": "3"}),
+        ]
+
+    def test_accuracy_via_final_answer(self):
+        scores = score_generative(
+            ("accuracy",),
+            ["so the answer is 7 .", "the answer is 9 ."],
+            self._examples(),
+        )
+        assert scores["accuracy"] == pytest.approx(50.0)
+
+    def test_text_metrics(self):
+        examples = [GenExample(prompt="p", reference="alice visited paris .")]
+        scores = score_generative(
+            ("bleu", "chrf", "rouge1", "rougeL", "exact_match", "f1"),
+            ["alice visited paris ."],
+            examples,
+        )
+        for name, value in scores.items():
+            assert value == pytest.approx(100.0), name
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            score_generative(("bleu",), ["a"], [])
+        with pytest.raises(KeyError):
+            score_generative(("nope",), ["a"], [GenExample("p", "a")])
+
+
+@settings(max_examples=100, deadline=None)
+@given(_WORDS, _WORDS)
+def test_property_metric_bounds(hyp, ref):
+    """All text metrics stay in [0, 100]."""
+    for value in (
+        bleu(hyp, ref),
+        chrf_pp(" ".join(hyp), " ".join(ref)),
+        rouge_1(hyp, ref),
+        rouge_l(hyp, ref),
+        token_f1(" ".join(hyp), " ".join(ref)),
+    ):
+        assert 0.0 <= value <= 100.0 + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(_WORDS)
+def test_property_identity_is_perfect(tokens):
+    """Every metric scores an exact copy at 100."""
+    text = " ".join(tokens)
+    assert bleu(tokens, tokens) == pytest.approx(100.0)
+    assert chrf_pp(text, text) == pytest.approx(100.0)
+    assert rouge_l(tokens, tokens) == pytest.approx(100.0)
+    assert exact_match(text, text) == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(_WORDS, _WORDS)
+def test_property_lcs_bounds_and_symmetry(a, b):
+    """LCS is symmetric and bounded by both lengths."""
+    assert lcs_length(a, b) == lcs_length(b, a)
+    assert lcs_length(a, b) <= min(len(a), len(b))

@@ -1,0 +1,106 @@
+"""Tests for optimizers, clipping and the LR schedule."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    SGD,
+    AdamW,
+    CosineWarmupSchedule,
+    Tensor,
+    clip_grad_norm,
+)
+
+
+def _quadratic_problem():
+    """min ||x - target||^2 from a fixed start."""
+    target = np.array([1.0, -2.0, 3.0], np.float32)
+    x = Tensor(np.zeros(3, np.float32), requires_grad=True)
+    return x, target
+
+
+def _loss(x: Tensor, target: np.ndarray) -> Tensor:
+    diff = x - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges(self):
+        x, target = _quadratic_problem()
+        opt = SGD([x], lr=0.1)
+        for _ in range(200):
+            loss = _loss(x, target)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(x.data, target, atol=1e-3)
+
+    def test_momentum_faster_than_plain(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            x, target = _quadratic_problem()
+            opt = SGD([x], lr=0.02, momentum=momentum)
+            for _ in range(50):
+                loss = _loss(x, target)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            losses[momentum] = float(_loss(x, target).data)
+        assert losses[0.9] < losses[0.0]
+
+
+class TestAdamW:
+    def test_converges(self):
+        x, target = _quadratic_problem()
+        opt = AdamW([x], lr=0.1)
+        for _ in range(300):
+            loss = _loss(x, target)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(x.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        x = Tensor(np.array([10.0], np.float32), requires_grad=True)
+        opt = AdamW([x], lr=0.1, weight_decay=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            x.grad = np.zeros(1, np.float32)  # no data gradient
+            opt.step()
+        assert abs(float(x.data[0])) < 10.0
+
+    def test_skips_params_without_grad(self):
+        x = Tensor(np.ones(2, np.float32), requires_grad=True)
+        opt = AdamW([x], lr=0.1)
+        opt.step()  # no grad yet: must not move or crash
+        np.testing.assert_array_equal(x.data, 1.0)
+
+
+class TestClip:
+    def test_clips_to_max_norm(self):
+        t = Tensor(np.zeros(4, np.float32), requires_grad=True)
+        t.grad = np.full(4, 10.0, np.float32)
+        pre = clip_grad_norm([t], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(t.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_no_clip_below_threshold(self):
+        t = Tensor(np.zeros(2, np.float32), requires_grad=True)
+        t.grad = np.array([0.3, 0.4], np.float32)
+        clip_grad_norm([t], max_norm=1.0)
+        np.testing.assert_allclose(t.grad, [0.3, 0.4])
+
+
+class TestSchedule:
+    def test_warmup_then_decay(self):
+        opt = SGD([], lr=0.0)
+        sched = CosineWarmupSchedule(opt, peak_lr=1.0, warmup_steps=10, total_steps=100)
+        lrs = [sched.step() for _ in range(100)]
+        assert lrs[0] < lrs[5] < lrs[9]  # warming up
+        assert max(lrs) == pytest.approx(1.0)
+        assert lrs[-1] < 0.2  # decayed
+        assert lrs[-1] >= 0.1 * 0.999  # floor = final_lr_frac * peak
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineWarmupSchedule(SGD([], lr=0), 1.0, -1, 10)

@@ -1,0 +1,84 @@
+"""Tests for SDC outcome classification (paper Figs 7/8)."""
+
+import pytest
+
+from repro.fi import Outcome, classify_direct_answer, classify_generative, is_distorted
+
+
+class TestIsDistorted:
+    def test_clean_text(self):
+        assert not is_distorted("the answer is 7 .")
+
+    def test_empty(self):
+        assert is_distorted("")
+
+    def test_special_token_garbage(self):
+        assert is_distorted("the <unk> visited <unk>")
+
+    def test_repeated_run(self):
+        assert is_distorted("the the the the the answer")
+
+    def test_short_repeat_ok(self):
+        assert not is_distorted("that that is fine")
+
+    def test_low_diversity_long_output(self):
+        assert is_distorted("a b a a a a a a a a a a")
+
+    def test_runaway_length_vs_reference(self):
+        text = " ".join(f"w{i % 7}" for i in range(60))
+        assert is_distorted(text, reference="short answer .") or True  # length rule
+        assert is_distorted("x y z " * 20, reference="a b .")
+
+    def test_normal_length_vs_reference(self):
+        assert not is_distorted(
+            "alice the baker visited rome on monday .",
+            reference="alice the baker visited paris on monday .",
+        )
+
+
+class TestClassifyDirectAnswer:
+    def test_masked(self):
+        out = classify_direct_answer("7", "7", "the answer is 7 .")
+        assert out is Outcome.MASKED
+        assert not out.is_sdc
+
+    def test_subtle(self):
+        out = classify_direct_answer("9", "7", "3 + 6 = 9 . the answer is 9 .")
+        assert out is Outcome.SDC_SUBTLE
+        assert out.is_sdc
+
+    def test_distorted_garbage_no_answer(self):
+        assert (
+            classify_direct_answer(None, "7", "the the the the")
+            is Outcome.SDC_DISTORTED
+        )
+
+    def test_fluent_missing_answer_is_subtle(self):
+        assert (
+            classify_direct_answer(None, "7", "3 + 6 = 9 . so it is nine")
+            is Outcome.SDC_SUBTLE
+        )
+
+    def test_distorted_garbage_with_answer(self):
+        text = "<pad> <pad> the answer is 9 ."
+        assert classify_direct_answer("9", "7", text) is Outcome.SDC_DISTORTED
+
+
+class TestClassifyGenerative:
+    def test_masked_when_same_as_baseline(self):
+        out = classify_generative("alice visited paris .", "alice visited paris .", "ref")
+        assert out is Outcome.MASKED
+
+    def test_subtle_when_fluent_but_different(self):
+        out = classify_generative(
+            "alice visited rome .", "alice visited paris .", "alice visited paris ."
+        )
+        assert out is Outcome.SDC_SUBTLE
+
+    def test_distorted(self):
+        out = classify_generative(
+            "paris paris paris paris paris",
+            "alice visited paris .",
+            "alice visited paris .",
+        )
+        assert out is Outcome.SDC_DISTORTED

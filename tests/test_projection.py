@@ -1,0 +1,85 @@
+"""Tests for deployment-level SDC rate projection."""
+
+import math
+
+import pytest
+
+from repro.fi import FaultModel, FaultSite, Outcome
+from repro.fi.campaign import CampaignResult, TrialRecord
+from repro.fi.projection import HOURS_PER_FIT, project_sdc_rate
+
+
+def _result(n_sdc: int, n_total: int) -> CampaignResult:
+    trials = [
+        TrialRecord(
+            site=FaultSite(FaultModel.MEM_2BIT, "blocks.0.up_proj", 0, 0, bits=(14,)),
+            example_index=0,
+            prediction="x",
+            outcome=Outcome.SDC_SUBTLE if i < n_sdc else Outcome.MASKED,
+            metrics={},
+        )
+        for i in range(n_total)
+    ]
+    return CampaignResult(
+        task_name="t", fault_model=FaultModel.MEM_2BIT, n_trials=n_total,
+        baseline={}, faulty={}, normalized={}, trials=trials,
+    )
+
+
+class TestProjection:
+    def test_basic_arithmetic(self):
+        # 10% SDC prob, 1e-3 FIT/bit, 1e6 bits -> 1e3 FIT raw faults,
+        # 100 FIT of SDCs.
+        proj = project_sdc_rate(_result(10, 100), 1e-3, 1_000_000)
+        assert proj.p_sdc_given_fault == pytest.approx(0.1)
+        assert proj.sdc_fit == pytest.approx(100.0)
+        assert proj.mtbf_hours == pytest.approx(HOURS_PER_FIT / 100.0)
+
+    def test_zero_sdc_infinite_mtbf(self):
+        proj = project_sdc_rate(_result(0, 50), 1e-3, 1000)
+        assert proj.sdc_per_hour == 0.0
+        assert math.isinf(proj.mtbf_hours)
+
+    def test_interval_brackets_point(self):
+        proj = project_sdc_rate(_result(20, 100), 1e-4, 10_000)
+        low, high = proj.interval_fit()
+        assert low < proj.sdc_fit < high
+
+    def test_scales_linearly_with_bits(self):
+        small = project_sdc_rate(_result(5, 50), 1e-3, 1000)
+        large = project_sdc_rate(_result(5, 50), 1e-3, 2000)
+        assert large.sdc_fit == pytest.approx(2 * small.sdc_fit)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_sdc_rate(_result(1, 10), -1.0, 100)
+        with pytest.raises(ValueError):
+            project_sdc_rate(_result(1, 10), 1.0, 0)
+        empty = CampaignResult(
+            "t", FaultModel.MEM_2BIT, 0, {}, {}, {}, trials=[]
+        )
+        with pytest.raises(ValueError):
+            project_sdc_rate(empty, 1.0, 100)
+
+    def test_end_to_end_with_live_campaign(self, untrained_engine, tokenizer, world):
+        from repro.fi import FICampaign
+        from repro.tasks import MMLUTask, standardized_subset
+
+        task = MMLUTask(world)
+        result = FICampaign(
+            engine=untrained_engine,
+            tokenizer=tokenizer,
+            task_name=task.name,
+            metrics=task.metrics,
+            examples=standardized_subset(task, 3),
+            fault_model=FaultModel.MEM_2BIT,
+            seed=4,
+        ).run(15)
+        n_bits = sum(
+            untrained_engine.weight_store(n).array.size
+            * untrained_engine.weight_store(n).n_storage_bits
+            for n in untrained_engine.linear_layer_names()
+        )
+        proj = project_sdc_rate(result, bit_fit_rate=1e-4, n_weight_bits=n_bits)
+        assert 0.0 <= proj.p_sdc_given_fault <= 1.0
+        assert proj.sdc_fit >= 0.0

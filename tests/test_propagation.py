@@ -1,0 +1,99 @@
+"""Tests for the error-propagation geometry (paper Figs 5 and 6).
+
+These verify the paper's central mechanism claims on our engine:
+memory faults corrupt a *column* of the injected layer's output and
+then blanket the next layer; computational faults corrupt a *row* (one
+token) and stay contained.
+"""
+
+import numpy as np
+
+from repro.fi import FaultModel, FaultSite, trace_fault
+
+PROMPT = [3, 17, 8, 25, 4, 11, 30, 2, 19, 7]
+
+
+def _mem_site(engine, bit=30):
+    layer = "blocks.0.up_proj"
+    return FaultSite(
+        FaultModel.MEM_2BIT, layer, row=5, col=7, bits=(bit, bit - 1)
+    )
+
+
+class TestMemoryPropagation:
+    def test_column_corruption_in_injected_layer(self, untrained_engine):
+        trace = trace_fault(untrained_engine, _mem_site(untrained_engine), PROMPT)
+        profile = trace.column_profile("blocks.0.up_proj")
+        # The faulty weight column is corrupted for every token...
+        assert profile[7] == 1.0
+        # ...and no other column is touched in the injected layer.
+        others = np.delete(profile, 7)
+        assert others.max() == 0.0
+
+    def test_spreads_to_full_tensor_next_layer(self, untrained_engine):
+        trace = trace_fault(untrained_engine, _mem_site(untrained_engine), PROMPT)
+        # down_proj consumes the corrupted column: every row (token)
+        # becomes corrupted across (nearly) all columns.
+        frac = trace.corrupted_fraction("blocks.0.down_proj")
+        assert frac > 0.9
+        rows = trace.row_profile("blocks.0.down_proj")
+        assert (rows > 0.5).all()
+
+    def test_trace_restores_engine(self, untrained_engine):
+        baseline = untrained_engine.forward_full(PROMPT)
+        trace_fault(untrained_engine, _mem_site(untrained_engine), PROMPT)
+        np.testing.assert_array_equal(
+            untrained_engine.forward_full(PROMPT), baseline
+        )
+
+    def test_low_bit_flip_may_not_spread(self, untrained_engine):
+        """Mantissa-bit faults produce tiny, often-masked deviations."""
+        site = FaultSite(
+            FaultModel.MEM_2BIT, "blocks.0.up_proj", row=5, col=7, bits=(0, 1)
+        )
+        trace = trace_fault(untrained_engine, site, PROMPT)
+        big = trace_fault(untrained_engine, _mem_site(untrained_engine), PROMPT)
+        assert trace.corrupted_fraction("blocks.0.down_proj") <= (
+            big.corrupted_fraction("blocks.0.down_proj")
+        )
+
+
+class TestComputationalPropagation:
+    def _site(self, col=7, row_frac=0.35):
+        return FaultSite(
+            FaultModel.COMP_2BIT,
+            "blocks.0.up_proj",
+            row=0,
+            col=col,
+            bits=(30, 28),
+            iteration=0,
+            row_frac=row_frac,
+        )
+
+    def test_single_row_in_injected_layer(self, untrained_engine):
+        trace = trace_fault(untrained_engine, self._site(), PROMPT)
+        rows = trace.row_profile("blocks.0.up_proj")
+        assert (rows > 0).sum() == 1  # exactly one token row corrupted
+
+    def test_row_local_in_next_layer(self, untrained_engine):
+        trace = trace_fault(untrained_engine, self._site(), PROMPT)
+        rows = trace.row_profile("blocks.0.down_proj")
+        assert (rows > 0).sum() == 1  # corruption stays on the token
+
+    def test_contained_vs_memory_fault(self, untrained_engine):
+        """Computational corruption affects far less of the next block
+        than memory corruption does (the paper's key asymmetry)."""
+        comp = trace_fault(untrained_engine, self._site(), PROMPT)
+        mem = trace_fault(untrained_engine, _mem_site(untrained_engine), PROMPT)
+        layer = "blocks.1.up_proj"
+        assert comp.corrupted_fraction(layer) < mem.corrupted_fraction(layer)
+
+    def test_later_tokens_see_fault_through_attention(self, untrained_engine):
+        """The corrupted token's K/V leaks to *later* rows in the next
+        block via attention, but never to earlier rows (causality)."""
+        trace = trace_fault(untrained_engine, self._site(row_frac=0.35), PROMPT)
+        corrupted_row = int(0.35 * len(PROMPT))
+        rows = trace.row_profile("blocks.1.q_proj")
+        affected = np.nonzero(rows > 0)[0]
+        assert affected.size >= 1
+        assert affected.min() >= corrupted_row

@@ -1,0 +1,168 @@
+"""Cross-module property tests on the inference substrate's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fi import FaultModel, FaultSite, inject, sample_site
+from repro.generation import GenerationConfig, greedy_decode
+from repro.inference import InferenceEngine
+from repro.model import ModelConfig, TransformerLM
+
+VOCAB = 40
+
+
+_PROP_ENGINE: InferenceEngine | None = None
+
+
+def _prop_engine() -> InferenceEngine:
+    """Module-cached engine (hypothesis forbids function-scoped fixtures)."""
+    global _PROP_ENGINE
+    if _PROP_ENGINE is None:
+        config = ModelConfig(
+            vocab_size=VOCAB, d_model=32, n_heads=4, n_blocks=2, d_ff=48,
+            max_seq=64,
+        )
+        _PROP_ENGINE = InferenceEngine(TransformerLM(config, seed=13).to_store())
+    return _PROP_ENGINE
+
+
+@pytest.fixture()
+def prop_engine() -> InferenceEngine:
+    return _prop_engine()
+
+
+_prompts = st.lists(
+    st.integers(min_value=5, max_value=VOCAB - 1), min_size=1, max_size=12
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_prompts)
+def test_property_incremental_equals_full(prompt):
+    """KV-cached decoding matches the full recompute for any prompt."""
+    config = ModelConfig(
+        vocab_size=VOCAB, d_model=32, n_heads=4, n_blocks=2, d_ff=48, max_seq=64
+    )
+    engine = InferenceEngine(TransformerLM(config, seed=13).to_store())
+    session = engine.start_session(prompt)
+    stepped = [session.last_logits.copy()]
+    for token in [3, 7]:
+        stepped.append(session.step(token).copy())
+    full = engine.forward_full([*prompt, 3, 7])
+    np.testing.assert_allclose(stepped[0], full[len(prompt) - 1], atol=2e-4)
+    np.testing.assert_allclose(stepped[2], full[-1], atol=2e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_injection_always_restores(seed):
+    """Any sampled fault, any model: post-run state is bit-identical."""
+    prop_engine = _prop_engine()
+    rng = np.random.default_rng(seed)
+    fault_model = (FaultModel.MEM_2BIT, FaultModel.COMP_1BIT)[seed % 2]
+    site = sample_site(prop_engine, fault_model, rng, max_iterations=4)
+    pristine = {
+        name: prop_engine.weight_store(name).array.copy()
+        for name in ("blocks.0.q_proj", "blocks.1.down_proj", site.layer_name)
+    }
+    with inject(prop_engine, site):
+        greedy_decode(prop_engine, [4, 9, 2, 17], GenerationConfig(
+            max_new_tokens=4, eos_id=2,
+        ))
+    for name, expected in pristine.items():
+        np.testing.assert_array_equal(
+            prop_engine.weight_store(name).array, expected
+        )
+    assert len(prop_engine.hooks) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_site_addresses_valid(seed):
+    """Sampled sites always address real storage."""
+    prop_engine = _prop_engine()
+    rng = np.random.default_rng(seed)
+    for fault_model in FaultModel.all():
+        site = sample_site(prop_engine, fault_model, rng, max_iterations=8)
+        store = prop_engine.weight_store(site.layer_name)
+        assert 0 <= site.row < store.shape[0]
+        assert 0 <= site.col < store.shape[1]
+        assert 0.0 <= site.row_frac < 1.0
+        assert all(0 <= b for b in site.bits)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_prompts, st.integers(min_value=1, max_value=3))
+def test_property_greedy_prefix_stability(prompt, n_tokens):
+    """Greedy decoding of k tokens is a prefix of decoding k+1 tokens."""
+    config = ModelConfig(
+        vocab_size=VOCAB, d_model=32, n_heads=4, n_blocks=2, d_ff=48, max_seq=64
+    )
+    engine = InferenceEngine(TransformerLM(config, seed=13).to_store())
+    short = greedy_decode(
+        engine, prompt, GenerationConfig(max_new_tokens=n_tokens, eos_id=2)
+    )
+    longer = greedy_decode(
+        engine, prompt, GenerationConfig(max_new_tokens=n_tokens + 1, eos_id=2)
+    )
+    assert longer[: len(short)] == short
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.sampled_from(["fp16", "bf16", "int8", "int4"]),
+)
+def test_property_storage_policies_preserve_argmax_mostly(seed, policy):
+    """Lossy storage perturbs logits but keeps them finite and sane."""
+    config = ModelConfig(
+        vocab_size=VOCAB, d_model=32, n_heads=4, n_blocks=2, d_ff=48, max_seq=64
+    )
+    store = TransformerLM(config, seed=13).to_store()
+    engine = InferenceEngine(store, weight_policy=policy)
+    rng = np.random.default_rng(seed)
+    prompt = rng.integers(5, VOCAB, size=6).tolist()
+    logits = engine.forward_full(prompt)
+    assert np.isfinite(logits).all()
+    assert logits.shape == (6, VOCAB)
+
+
+class TestFaultModelCoverage:
+    """Statistical sanity of the uniform site sampler."""
+
+    def test_bits_cover_full_width(self, prop_engine):
+        rng = np.random.default_rng(0)
+        seen = set()
+        for _ in range(600):
+            site = sample_site(prop_engine, FaultModel.MEM_2BIT, rng)
+            seen.update(site.bits)
+        assert seen == set(range(32))  # fp32 storage: all 32 positions
+
+    def test_layer_types_roughly_uniform(self, prop_engine):
+        from collections import Counter
+
+        rng = np.random.default_rng(1)
+        counts = Counter(
+            sample_site(prop_engine, FaultModel.MEM_2BIT, rng).layer_type
+            for _ in range(1400)
+        )
+        assert len(counts) == 7
+        expected = 1400 / 7
+        for layer, count in counts.items():
+            assert 0.5 * expected < count < 1.6 * expected, (layer, count)
+
+    def test_iterations_roughly_uniform(self, prop_engine):
+        from collections import Counter
+
+        rng = np.random.default_rng(2)
+        counts = Counter(
+            sample_site(
+                prop_engine, FaultModel.COMP_2BIT, rng, max_iterations=4
+            ).iteration
+            for _ in range(800)
+        )
+        assert set(counts) == {0, 1, 2, 3}
+        for count in counts.values():
+            assert 120 < count < 280

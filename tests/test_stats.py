@@ -1,0 +1,123 @@
+"""Tests for campaign statistics (normalized performance, CIs)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics import (
+    log_ratio_ci_means,
+    log_ratio_ci_proportions,
+    normalized_performance,
+    required_trials,
+    wilson_interval,
+)
+
+
+class TestProportionRatioCI:
+    def test_point_estimate(self):
+        ci = log_ratio_ci_proportions(90, 100, 95, 100)
+        assert ci.ratio == pytest.approx(90 / 95)
+
+    def test_ci_brackets_ratio(self):
+        ci = log_ratio_ci_proportions(80, 100, 90, 100)
+        assert ci.lower < ci.ratio < ci.upper
+        assert ci.ratio in ci
+
+    def test_equal_proportions_contain_one(self):
+        ci = log_ratio_ci_proportions(85, 100, 85, 100)
+        assert ci.lower <= 1.0 <= ci.upper
+
+    def test_more_trials_narrower(self):
+        wide = log_ratio_ci_proportions(45, 50, 48, 50)
+        narrow = log_ratio_ci_proportions(450, 500, 480, 500)
+        assert (narrow.upper - narrow.lower) < (wide.upper - wide.lower)
+
+    def test_zero_faulty_successes(self):
+        ci = log_ratio_ci_proportions(0, 100, 90, 100)
+        assert ci.ratio == 0.0
+
+    def test_zero_baseline_is_nan(self):
+        ci = log_ratio_ci_proportions(10, 100, 0, 100)
+        assert math.isnan(ci.ratio)
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ValueError):
+            log_ratio_ci_proportions(1, 0, 1, 10)
+
+
+class TestMeanRatioCI:
+    def test_point_estimate(self):
+        ci = log_ratio_ci_means(np.array([8.0, 10.0, 12.0]), 10.0)
+        assert ci.ratio == pytest.approx(1.0)
+
+    def test_brackets(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(9.0, 1.0, size=200)
+        ci = log_ratio_ci_means(values, 10.0)
+        assert ci.lower < 0.9 < ci.upper
+
+    def test_single_value_degenerate(self):
+        ci = log_ratio_ci_means(np.array([5.0]), 10.0)
+        assert ci.lower == ci.ratio == ci.upper == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            log_ratio_ci_means(np.array([]), 1.0)
+
+    def test_zero_baseline_nan(self):
+        assert math.isnan(log_ratio_ci_means(np.array([1.0]), 0.0).ratio)
+
+
+class TestHelpers:
+    def test_normalized_performance(self):
+        assert normalized_performance(45.0, 50.0) == pytest.approx(0.9)
+        assert math.isnan(normalized_performance(1.0, 0.0))
+
+    def test_wilson_contains_p(self):
+        lo, hi = wilson_interval(80, 100)
+        assert lo < 0.8 < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_wilson_extremes(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0 and hi < 0.2
+        lo, hi = wilson_interval(50, 50)
+        assert lo > 0.8 and hi == 1.0
+
+    def test_required_trials_scaling(self):
+        # Quadruple precision demand -> ~4x fewer? No: halving the
+        # margin quadruples the trials.
+        n1 = required_trials(0.5, 0.05)
+        n2 = required_trials(0.5, 0.025)
+        assert n2 == pytest.approx(4 * n1, rel=0.01)
+
+    def test_required_trials_validation(self):
+        with pytest.raises(ValueError):
+            required_trials(0.0, 0.1)
+        with pytest.raises(ValueError):
+            required_trials(0.5, 0.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=99),
+    st.integers(min_value=1, max_value=99),
+)
+def test_property_proportion_ci_ordering(a, b):
+    """CI is always ordered lower <= ratio <= upper."""
+    ci = log_ratio_ci_proportions(a, 100, b, 100)
+    assert ci.lower <= ci.ratio <= ci.upper
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=2, max_size=50),
+    st.floats(min_value=0.1, max_value=100.0),
+)
+def test_property_mean_ratio_ci_positive_and_ordered(values, baseline):
+    """Log-transform CIs stay positive and ordered for positive metrics."""
+    ci = log_ratio_ci_means(np.asarray(values), baseline)
+    assert 0.0 < ci.lower <= ci.ratio <= ci.upper

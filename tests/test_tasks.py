@@ -1,0 +1,159 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.tasks import (
+    GSM8kTask,
+    GenExample,
+    MCExample,
+    TaskKind,
+    TranslationTask,
+    World,
+    all_tasks,
+    extract_final_answer,
+    pseudoword,
+    standardized_subset,
+)
+from repro.tasks.world import TRANSLATABLE_ADJECTIVES, TRANSLATABLE_NOUNS
+
+
+class TestWorld:
+    def test_deterministic(self):
+        a, b = World(seed=1), World(seed=1)
+        assert a.capital_of == b.capital_of
+        assert a.lives_in == b.lives_in
+        assert a.src_lexicon == b.src_lexicon
+
+    def test_seed_changes_relations(self):
+        assert World(seed=1).lives_in != World(seed=2).lives_in
+
+    def test_pseudoword_deterministic_and_distinct(self):
+        assert pseudoword("cat") == pseudoword("cat")
+        words = {pseudoword(w) for w in ("cat", "dog", "bird", "fish", "horse")}
+        assert len(words) == 5
+
+    def test_adjective_reordering(self):
+        world = World(seed=2025)
+        src = world.to_source_language(["the", "red", "cat"])
+        # Adjective moves after the noun in the source language.
+        assert src[1] == world.src_lexicon["cat"]
+        assert src[2] == world.src_lexicon["red"]
+
+    def test_sizes_have_both_classes(self):
+        world = World(seed=2025)
+        sizes = set(world.size_of.values())
+        assert sizes == {"big", "small"}
+
+
+class TestGenerators:
+    def test_all_nine_tasks(self, world):
+        tasks = all_tasks(world)
+        assert len(tasks) == 9
+        assert sum(t.kind is TaskKind.MULTIPLE_CHOICE for t in tasks) == 5
+        assert sum(t.kind is TaskKind.GENERATIVE for t in tasks) == 4
+
+    @pytest.mark.parametrize("task_index", range(9))
+    def test_examples_deterministic(self, world, task_index):
+        task = all_tasks(world)[task_index]
+        a = task.examples(np.random.default_rng(3), 10)
+        b = task.examples(np.random.default_rng(3), 10)
+        assert a == b
+
+    def test_mc_examples_valid(self, world):
+        for task in all_tasks(world):
+            if task.kind is not TaskKind.MULTIPLE_CHOICE:
+                continue
+            for ex in task.examples(np.random.default_rng(0), 25):
+                assert isinstance(ex, MCExample)
+                assert 0 <= ex.answer_index < len(ex.options)
+                assert len(set(ex.options)) == len(ex.options), task.name
+
+    def test_mc_correct_option_is_true_fact(self, world):
+        from repro.tasks import MMLUTask
+
+        for ex in MMLUTask(world).examples(np.random.default_rng(1), 30):
+            correct = ex.options[ex.answer_index].strip()
+            if "capital of" in ex.prompt:
+                country = ex.prompt.split("capital of ")[1].split(" ?")[0]
+                assert world.capital_of[country] == correct
+
+    def test_standardized_subset_stable(self, world):
+        task = all_tasks(world)[0]
+        assert standardized_subset(task, 15) == standardized_subset(task, 15)
+
+
+class TestGSM8k:
+    def test_cot_arithmetic_consistent(self, world):
+        task = GSM8kTask(world, use_cot=True)
+        for ex in task.examples(np.random.default_rng(2), 40):
+            answer = ex.meta["final_answer"]
+            assert extract_final_answer(ex.reference) == answer
+            # The reference's arithmetic must actually hold.
+            steps = ex.reference.split(" . ")
+            a, _, b, _, d = steps[0].split()
+            d2, _, c, _, e = steps[1].split()
+            assert int(a) + int(b) == int(d) and d == d2
+            assert int(d) - int(c) == int(e)
+            assert e == answer
+
+    def test_direct_mode_short(self, world):
+        task = GSM8kTask(world, use_cot=False)
+        ex = task.examples(np.random.default_rng(0), 1)[0]
+        assert ex.prompt.startswith("solve brief :")
+        assert ex.reference.startswith("the answer is")
+
+    def test_extract_final_answer(self):
+        assert extract_final_answer("foo . the answer is 42 .") == "42"
+        assert extract_final_answer("the answer is 2 6 0 0 .") == "2600"
+        assert extract_final_answer("no answer here") is None
+
+    def test_answers_nonnegative(self, world):
+        task = GSM8kTask(world)
+        for ex in task.examples(np.random.default_rng(4), 100):
+            assert int(ex.meta["final_answer"]) >= 0
+
+
+class TestTranslation:
+    def test_reference_is_valid_english(self, world):
+        task = TranslationTask(world)
+        content = set(TRANSLATABLE_NOUNS) | set(TRANSLATABLE_ADJECTIVES)
+        for ex in task.examples(np.random.default_rng(3), 20):
+            words = ex.reference.rstrip(" .").split()
+            assert any(w in content for w in words)
+
+    def test_source_maps_back(self, world):
+        task = TranslationTask(world)
+        ex = task.examples(np.random.default_rng(1), 1)[0]
+        inverse = {v: k for k, v in world.src_lexicon.items()}
+        src_words = ex.meta["source"].split()
+        mapped = {inverse.get(w) for w in src_words}
+        for word in ex.reference.rstrip(" .").split():
+            assert word in mapped
+
+
+class TestSquad:
+    def test_unanswerable_fraction(self, world):
+        from repro.tasks import SquadTask
+
+        task = SquadTask(world)
+        examples = task.examples(np.random.default_rng(0), 200)
+        frac = np.mean([not ex.meta["answerable"] for ex in examples])
+        assert 0.1 < frac < 0.45
+
+    def test_answer_in_context_when_answerable(self, world):
+        from repro.tasks import SquadTask
+
+        for ex in SquadTask(world).examples(np.random.default_rng(1), 50):
+            if ex.meta["answerable"]:
+                assert ex.meta["answer"] in ex.prompt
+
+
+class TestTrainingTexts:
+    @pytest.mark.parametrize("task_index", range(9))
+    def test_nonempty_and_deterministic(self, world, task_index):
+        task = all_tasks(world)[task_index]
+        a = task.training_texts(np.random.default_rng(9), 20)
+        b = task.training_texts(np.random.default_rng(9), 20)
+        assert a == b
+        assert all(isinstance(t, str) and t for t in a)

@@ -1,0 +1,151 @@
+"""Tests for the reverse-mode autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, check_gradients, concat, no_grad
+
+RNG = np.random.default_rng(42)
+
+
+def _randn(*shape: int) -> np.ndarray:
+    return RNG.normal(size=shape).astype(np.float64)
+
+
+class TestArithmetic:
+    def test_add_broadcast_grad(self):
+        check_gradients(lambda a, b: a + b, [_randn(3, 4), _randn(4)])
+
+    def test_mul_broadcast_grad(self):
+        check_gradients(lambda a, b: a * b, [_randn(2, 3), _randn(1, 3)])
+
+    def test_sub_and_neg(self):
+        check_gradients(lambda a, b: a - b, [_randn(3), _randn(3)])
+
+    def test_div(self):
+        check_gradients(
+            lambda a, b: a / b, [_randn(3), np.abs(_randn(3)) + 1.0]
+        )
+
+    def test_pow(self):
+        check_gradients(lambda a: a**3.0, [np.abs(_randn(4)) + 0.5])
+
+    def test_scalar_ops(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = (2.0 * t + 1.0).sum()
+        out.backward()
+        np.testing.assert_array_equal(t.grad, [2.0, 2.0])
+
+    def test_rsub_rdiv(self):
+        t = Tensor([2.0], requires_grad=True)
+        (1.0 - t).sum().backward()
+        np.testing.assert_array_equal(t.grad, [-1.0])
+        t2 = Tensor([2.0], requires_grad=True)
+        (1.0 / t2).sum().backward()
+        np.testing.assert_allclose(t2.grad, [-0.25])
+
+
+class TestMatmul:
+    def test_2d(self):
+        check_gradients(lambda a, b: a @ b, [_randn(3, 4), _randn(4, 2)])
+
+    def test_batched(self):
+        check_gradients(lambda a, b: a @ b, [_randn(2, 3, 4), _randn(2, 4, 5)])
+
+    def test_broadcast_batch(self):
+        check_gradients(lambda a, b: a @ b, [_randn(2, 3, 4), _randn(4, 5)])
+
+
+class TestUnary:
+    def test_exp_log(self):
+        check_gradients(lambda a: a.exp(), [_randn(5)])
+        check_gradients(lambda a: a.log(), [np.abs(_randn(5)) + 0.5])
+
+    def test_tanh_sigmoid(self):
+        check_gradients(lambda a: a.tanh(), [_randn(5)])
+        check_gradients(lambda a: a.sigmoid(), [_randn(5)])
+
+    def test_sigmoid_saturation(self):
+        t = Tensor(np.array([-100.0, 100.0], np.float32))
+        out = t.sigmoid()
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-6)
+
+
+class TestReductionsAndShape:
+    def test_sum_axis(self):
+        check_gradients(lambda a: a.sum(axis=0), [_randn(3, 4)])
+        check_gradients(lambda a: a.sum(axis=1, keepdims=True), [_randn(3, 4)])
+
+    def test_mean(self):
+        check_gradients(lambda a: a.mean(axis=-1), [_randn(2, 5)])
+
+    def test_reshape_transpose(self):
+        check_gradients(lambda a: a.reshape(6, 2), [_randn(3, 4)])
+        check_gradients(lambda a: a.transpose(1, 0, 2), [_randn(2, 3, 4)])
+        check_gradients(lambda a: a.swapaxes(0, 1), [_randn(3, 2)])
+
+    def test_getitem(self):
+        check_gradients(lambda a: a[1:], [_randn(4, 3)])
+
+    def test_take_rows_accumulates_repeats(self):
+        w = Tensor(_randn(5, 3).astype(np.float32), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        out = w.take_rows(idx)
+        out.sum().backward()
+        np.testing.assert_array_equal(w.grad[0], [2.0, 2.0, 2.0])
+        np.testing.assert_array_equal(w.grad[1], [0.0, 0.0, 0.0])
+
+    def test_concat(self):
+        check_gradients(
+            lambda a, b: concat([a, b], axis=1), [_randn(2, 3), _randn(2, 2)]
+        )
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        t = Tensor([3.0], requires_grad=True)
+        out = t * t  # t used twice
+        out.backward()
+        np.testing.assert_allclose(t.grad, [6.0])
+
+    def test_no_grad_blocks_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = t * 2.0
+        assert not out.requires_grad
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_detach(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert not t.detach().requires_grad
+
+    def test_diamond_graph(self):
+        # f(x) = (x*2) + (x*3): grad = 5.
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0 + t * 3.0).backward()
+        np.testing.assert_allclose(t.grad, [5.0])
+
+    def test_deep_chain_no_recursion(self):
+        t = Tensor([1.0], requires_grad=True)
+        out = t
+        for _ in range(2000):  # would blow the stack if recursive
+            out = out + 1.0
+        out.backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+def test_property_linear_grad_is_weight(n, m):
+    """d(sum(x @ W))/dx == row sums of W for any shapes."""
+    rng = np.random.default_rng(n * 31 + m)
+    w = rng.normal(size=(n, m)).astype(np.float32)
+    x = Tensor(rng.normal(size=(2, n)).astype(np.float32), requires_grad=True)
+    (x @ Tensor(w)).sum().backward()
+    expected = np.broadcast_to(w.sum(axis=1), (2, n))
+    np.testing.assert_allclose(x.grad, expected, rtol=1e-4, atol=1e-5)

@@ -1,0 +1,101 @@
+"""Tests for corpus building, batching and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.model import ModelConfig, TransformerLM
+from repro.tasks import all_tasks
+from repro.training import (
+    DEFAULT_TASK_WEIGHTS,
+    TrainConfig,
+    build_mixed_corpus,
+    corpus_to_stream,
+    sample_batch,
+    train_lm,
+)
+
+
+class TestCorpus:
+    def test_mixture_respects_weights(self, world):
+        tasks = all_tasks(world)
+        docs = build_mixed_corpus(tasks, np.random.default_rng(0), 3000)
+        assert len(docs) >= 3000  # some tasks emit extra drill lines
+        # The heavy task (gsm8k, weight 4) must dominate over a light one.
+        gsm = sum("solve" in d for d in docs)
+        hella = sum(d.startswith("the ") and len(d.split()) == 5 for d in docs)
+        assert gsm > hella
+
+    def test_deterministic(self, world):
+        tasks = all_tasks(world)
+        a = build_mixed_corpus(tasks, np.random.default_rng(1), 500)
+        b = build_mixed_corpus(tasks, np.random.default_rng(1), 500)
+        assert a == b
+
+    def test_stream_ends_docs_with_eos(self, world, tokenizer):
+        docs = ["paris .", "rome ."]
+        stream = corpus_to_stream(docs, tokenizer)
+        eos = tokenizer.vocab.eos_id
+        assert (stream == eos).sum() == 2
+
+    def test_weights_cover_all_tasks(self, world):
+        names = {t.name for t in all_tasks(world)}
+        assert set(DEFAULT_TASK_WEIGHTS) == names
+
+
+class TestBatching:
+    def test_shapes_and_shift(self):
+        stream = np.arange(100, dtype=np.int64)
+        x, y = sample_batch(stream, np.random.default_rng(0), 4, 10)
+        assert x.shape == y.shape == (4, 10)
+        np.testing.assert_array_equal(x[:, 1:], y[:, :-1])  # shifted by one
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(ValueError):
+            sample_batch(np.arange(5), np.random.default_rng(0), 2, 10)
+
+
+class TestTrainer:
+    def _setup(self, tokenizer, world):
+        docs = all_tasks(world)[0].training_texts(np.random.default_rng(0), 300)
+        stream = corpus_to_stream(docs, tokenizer)
+        config = ModelConfig(
+            vocab_size=len(tokenizer), d_model=32, n_heads=4, n_blocks=2,
+            d_ff=48, max_seq=64,
+        )
+        return TransformerLM(config, seed=0), stream
+
+    def test_loss_decreases(self, tokenizer, world):
+        model, stream = self._setup(tokenizer, world)
+        result = train_lm(
+            model, stream, TrainConfig(steps=60, batch_size=8, seq_len=32, seed=1)
+        )
+        first = float(np.mean(result.losses[:5]))
+        last = result.smoothed_final(10)
+        assert last < first * 0.8
+
+    def test_deterministic(self, tokenizer, world):
+        outs = []
+        for _ in range(2):
+            model, stream = self._setup(tokenizer, world)
+            train_lm(
+                model, stream,
+                TrainConfig(steps=5, batch_size=4, seq_len=24, seed=2),
+            )
+            outs.append(model.to_store().fingerprint())
+        assert outs[0] == outs[1]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(steps=0)
+        with pytest.raises(ValueError):
+            TrainConfig(seq_len=1)
+
+    def test_on_step_callback(self, tokenizer, world):
+        model, stream = self._setup(tokenizer, world)
+        seen = []
+        train_lm(
+            model, stream,
+            TrainConfig(steps=3, batch_size=4, seq_len=24, log_every=1),
+            on_step=lambda step, loss: seen.append(step),
+        )
+        assert seen == [0, 1, 2]
