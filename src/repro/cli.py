@@ -13,12 +13,20 @@ Commands
     performance with 95% CIs and the SDC breakdown.
 ``experiment ID [...]``
     Reproduce one paper table/figure (e.g. ``fig17``, ``table2``).
+``obs report RUN.jsonl``
+    Summarize a telemetry run written by ``--trace``/``--metrics-out``.
+
+The run commands (``build``/``eval``/``campaign``/``experiment``) accept
+``--trace`` to record spans and metrics and ``--metrics-out PATH`` to
+choose where the JSONL run (manifest first line) is written; ``--trace``
+alone defaults to ``artifacts/runs/<command>.jsonl``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.fi.fault_models import FaultModel
 from repro.harness import ExperimentContext, format_table
@@ -51,6 +59,20 @@ _EXPERIMENTS = {
 }
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record tracing spans and metrics for this run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the telemetry run JSONL here (implies --trace)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -64,12 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
     build = sub.add_parser("build", help="train-and-cache zoo models")
     build.add_argument("names", nargs="*", help="model names (default: none)")
     build.add_argument("--all", action="store_true", help="build every model")
+    _add_obs_flags(build)
 
     evaluate = sub.add_parser("eval", help="fault-free model evaluation")
     evaluate.add_argument("model", choices=zoo_names())
     evaluate.add_argument("task")
     evaluate.add_argument("--examples", type=int, default=20)
     evaluate.add_argument("--beams", type=int, default=1)
+    _add_obs_flags(evaluate)
 
     campaign = sub.add_parser("campaign", help="one fault-injection campaign")
     campaign.add_argument("model", choices=zoo_names())
@@ -82,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--policy", default="bf16")
     campaign.add_argument("--beams", type=int, default=1)
     campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument(
+        "--workers", type=int, default=0, help="process-pool size (0 = serial)"
+    )
+    _add_obs_flags(campaign)
 
     experiment = sub.add_parser(
         "experiment", help="reproduce one paper table/figure"
@@ -90,7 +118,57 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--trials", type=int, default=36)
     experiment.add_argument("--examples", type=int, default=8)
     experiment.add_argument("--seed", type=int, default=20251116)
+    _add_obs_flags(experiment)
+
+    obs = sub.add_parser("obs", help="telemetry utilities")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report", help="summarize a telemetry run JSONL"
+    )
+    report.add_argument("paths", nargs="+", help="run files to summarize")
     return parser
+
+
+# ----------------------------------------------------------------------------
+# Telemetry lifecycle around a traced command.
+# ----------------------------------------------------------------------------
+
+
+def _telemetry_start(args: argparse.Namespace) -> None:
+    if not (getattr(args, "trace", False) or getattr(args, "metrics_out", None)):
+        return
+    from repro.obs import enable
+    from repro.zoo import artifacts_dir
+
+    out = args.metrics_out or (
+        artifacts_dir() / "runs" / f"{args.command}.jsonl"
+    )
+    enable(Path(out))
+
+
+def _telemetry_finish(args: argparse.Namespace) -> None:
+    from repro.obs import telemetry
+
+    tel = telemetry()
+    if not tel.active:
+        return
+    config = {
+        k: v
+        for k, v in vars(args).items()
+        if k not in ("trace", "metrics_out") and not callable(v)
+    }
+    path = tel.flush(
+        seed=getattr(args, "seed", None),
+        config=config,
+        command=args.command,
+    )
+    tel.disable()
+    if path is not None:
+        print(f"telemetry: {path}", file=sys.stderr)
+        print(
+            f"telemetry: summarize with `python -m repro obs report {path}`",
+            file=sys.stderr,
+        )
 
 
 def _cmd_list_models() -> int:
@@ -156,9 +234,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         generation=ctx.generation(task, num_beams=args.beams),
     )
-    result = campaign.run(args.trials)
+    result = campaign.run(args.trials, n_workers=args.workers)
     print(f"model={args.model} task={args.task} fault={args.fault}"
           f" policy={args.policy} trials={args.trials}")
+    from repro.obs import telemetry
+
+    tel = telemetry()
     for metric in result.baseline:
         ci = result.normalized[metric]
         print(
@@ -166,20 +247,53 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"  faulty {result.faulty[metric]:8.3f}"
             f"  normalized {ci.ratio:.4f} [{ci.lower:.4f}, {ci.upper:.4f}]"
         )
+        tel.record(
+            "campaign_metric",
+            metric=metric,
+            baseline=result.baseline[metric],
+            faulty=result.faulty[metric],
+            normalized=ci.ratio,
+            ci_low=ci.lower,
+            ci_high=ci.upper,
+        )
     breakdown = result.sdc_breakdown()
     print(f"sdc rate {result.sdc_rate:.3f}"
           f" (subtle {breakdown['subtle']:.3f},"
           f" distorted {breakdown['distorted']:.3f})")
+    tel.record(
+        "campaign_summary",
+        model=args.model,
+        task=args.task,
+        fault=args.fault,
+        policy=args.policy,
+        trials=result.n_trials,
+        sdc_rate=result.sdc_rate,
+        **breakdown,
+    )
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.obs import telemetry
+
     ctx = ExperimentContext(
         n_examples=args.examples, n_trials=args.trials, seed=args.seed
     )
-    result = _EXPERIMENTS[args.id](ctx)
+    tel = telemetry()
+    with tel.span(f"experiment.{args.id}"):
+        result = _EXPERIMENTS[args.id](ctx)
     print(format_table(result))
+    for row in result.rows:
+        tel.record("experiment_row", experiment=result.experiment_id, **row)
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.report import main as report_main
+
+    if args.obs_command == "report":
+        return report_main(args.paths)
+    raise AssertionError(f"unhandled obs command {args.obs_command}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -187,14 +301,20 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list-models":
         return _cmd_list_models()
-    if args.command == "build":
-        return _cmd_build(args.names, args.all)
-    if args.command == "eval":
-        return _cmd_eval(args)
-    if args.command == "campaign":
-        return _cmd_campaign(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
+    _telemetry_start(args)
+    try:
+        if args.command == "build":
+            return _cmd_build(args.names, args.all)
+        if args.command == "eval":
+            return _cmd_eval(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+    finally:
+        _telemetry_finish(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

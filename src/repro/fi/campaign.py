@@ -15,6 +15,7 @@ process pool partitions trials without changing any sampled site.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -28,6 +29,9 @@ from repro.generation.decode import GenerationConfig, choose_option, generate_id
 from repro.inference.engine import CaptureState, InferenceEngine
 from repro.metrics.evaluate import score_generative
 from repro.model.params import ParamStore
+from repro.obs.instrument import attach_layer_timing
+from repro.obs.runtime import telemetry as _telemetry
+from repro.obs.trace import SpanRecord
 from repro.numerics.stats import (
     RatioCI,
     log_ratio_ci_means,
@@ -103,18 +107,42 @@ class CampaignResult:
 _WORKER: dict = {}
 
 
-def _worker_init(store: ParamStore, policy: str, campaign_state: dict) -> None:
+def _worker_init(
+    store: ParamStore,
+    policy: str,
+    campaign_state: dict,
+    telemetry_active: bool = False,
+) -> None:
     _WORKER["engine"] = InferenceEngine(store, weight_policy=policy)
     _WORKER["state"] = campaign_state
+    if telemetry_active:
+        # Workers collect into their own process-local telemetry; the
+        # parent merges the returned snapshots in chunk order, so the
+        # merged stream is deterministic w.r.t. worker scheduling.
+        tel = _telemetry()
+        tel.reset()
+        tel.enable()
+        attach_layer_timing(_WORKER["engine"], tel)
 
 
-def _worker_run(args: tuple[int, int]) -> list[TrialRecord]:
+def _worker_run(args: tuple[int, int]) -> tuple[list[TrialRecord], dict | None]:
     lo, hi = args
     state = _WORKER["state"]
     campaign = FICampaign.__new__(FICampaign)
     campaign.__dict__.update(state)
     campaign.engine = _WORKER["engine"]
-    return [campaign._run_trial(i) for i in range(lo, hi)]
+    records = [campaign._run_trial(i) for i in range(lo, hi)]
+    tel = _telemetry()
+    if not tel.active:
+        return records, None
+    payload = {
+        "spans": [span.to_dict() for span in tel.tracer.records],
+        "metrics": tel.metrics.snapshot(),
+    }
+    # Disjoint payload per chunk even if one worker serves several.
+    tel.tracer.reset()
+    tel.metrics.reset()
+    return records, payload
 
 
 class FICampaign:
@@ -231,6 +259,28 @@ class FICampaign:
         return False
 
     def _run_trial(self, trial: int) -> TrialRecord:
+        tel = _telemetry()
+        if not tel.active:
+            return self._run_trial_impl(trial)
+        t0 = time.perf_counter()
+        with tel.span("campaign.trial", trial=trial, task=self.task_name) as span:
+            record = self._run_trial_impl(trial)
+            span.set(
+                site=record.site.layer_name,
+                fault=record.site.fault_model.value,
+                outcome=record.outcome.name.lower(),
+                example=record.example_index,
+            )
+        metrics = tel.metrics
+        metrics.histogram("campaign.trial_ms").observe(
+            (time.perf_counter() - t0) * 1e3
+        )
+        metrics.counter("campaign.trials").add()
+        metrics.counter("campaign.injections").add()
+        metrics.counter(f"campaign.outcome.{record.outcome.name.lower()}").add()
+        return record
+
+    def _run_trial_impl(self, trial: int) -> TrialRecord:
         idx = trial % len(self.examples)
         ex = self.examples[idx]
         max_iter = 1 if self.is_mc else self.generation.max_new_tokens
@@ -336,7 +386,25 @@ class FICampaign:
         ``n_workers=0`` runs serially; otherwise a process pool
         partitions the trial range.  Results are identical either way
         because every trial derives its RNG from ``[seed, trial]``.
+        Telemetry, when enabled, is likewise partition-invariant:
+        worker snapshots merge in chunk order.
         """
+        tel = _telemetry()
+        detach = attach_layer_timing(self.engine, tel) if tel.active else None
+        try:
+            with tel.span(
+                "campaign.run",
+                task=self.task_name,
+                fault=self.fault_model.value,
+                trials=n_trials,
+                workers=n_workers,
+            ):
+                return self._run(n_trials, n_workers, tel)
+        finally:
+            if detach is not None:
+                detach()
+
+    def _run(self, n_trials: int, n_workers: int, tel) -> CampaignResult:
         self.compute_baseline()
         if n_workers <= 1:
             trials = [self._run_trial(i) for i in range(n_trials)]
@@ -367,8 +435,19 @@ class FICampaign:
         with ProcessPoolExecutor(
             max_workers=n_workers,
             initializer=_worker_init,
-            initargs=(store, self.engine.weight_policy, state),
+            initargs=(store, self.engine.weight_policy, state, tel.active),
         ) as pool:
             parts = list(pool.map(_worker_run, chunks))
-        trials = [t for part in parts for t in part]
+        trials = [t for records, _ in parts for t in records]
+        if tel.active:
+            # ``pool.map`` yields results in chunk submission order, so
+            # merging here is deterministic regardless of which worker
+            # finished first.
+            for _, payload in parts:
+                if payload is None:
+                    continue
+                tel.metrics.merge(payload["metrics"])
+                tel.tracer.adopt(
+                    [SpanRecord.from_dict(d) for d in payload["spans"]]
+                )
         return self._aggregate(trials)

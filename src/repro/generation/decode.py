@@ -14,12 +14,14 @@ ranks the candidates (§3.3.2).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.autograd.functional import log_softmax_np
 from repro.inference.engine import InferenceEngine, Session
+from repro.obs.runtime import telemetry as _telemetry
 
 __all__ = [
     "GenerationConfig",
@@ -142,9 +144,24 @@ def generate_ids(
     engine: InferenceEngine, prompt_ids: list[int], config: GenerationConfig
 ) -> list[int]:
     """Dispatch to greedy or beam decoding based on ``num_beams``."""
-    if config.num_beams == 1:
-        return greedy_decode(engine, prompt_ids, config)
-    return beam_search_decode(engine, prompt_ids, config)
+    decode = greedy_decode if config.num_beams == 1 else beam_search_decode
+    tel = _telemetry()
+    if not tel.active:
+        return decode(engine, prompt_ids, config)
+    t0 = time.perf_counter()
+    with tel.span(
+        "decode.generate",
+        num_beams=config.num_beams,
+        prompt_tokens=len(prompt_ids),
+    ) as span:
+        out = decode(engine, prompt_ids, config)
+        span.set(new_tokens=len(out))
+    elapsed_ms = (time.perf_counter() - t0) * 1e3
+    metrics = tel.metrics
+    metrics.histogram("decode.generate_ms").observe(elapsed_ms)
+    metrics.counter("decode.calls").add()
+    metrics.counter("decode.tokens").add(len(out))
+    return out
 
 
 def score_continuation(
@@ -169,7 +186,16 @@ def choose_option(
     options_ids: list[list[int]],
 ) -> int:
     """Index of the highest-likelihood option (multiple-choice answer)."""
-    scores = [
-        score_continuation(engine, prompt_ids, option) for option in options_ids
-    ]
+    tel = _telemetry()
+    with tel.span(
+        "decode.choose_option",
+        options=len(options_ids),
+        prompt_tokens=len(prompt_ids),
+    ):
+        scores = [
+            score_continuation(engine, prompt_ids, option)
+            for option in options_ids
+        ]
+    if tel.active:
+        tel.metrics.counter("decode.option_scores").add(len(options_ids))
     return int(np.argmax(scores))

@@ -15,6 +15,7 @@ from repro.fi.fault_models import FaultModel
 from repro.fi.sites import LayerFilter
 from repro.generation.decode import GenerationConfig
 from repro.inference.engine import InferenceEngine
+from repro.obs.runtime import telemetry as _telemetry
 from repro.tasks import World, all_tasks, standardized_subset
 from repro.tasks.base import Task
 from repro.text.tokenizer import Tokenizer
@@ -115,4 +116,15 @@ class ExperimentContext:
             track_expert_selection=track_expert_selection,
             max_fault_iterations=max_fault_iterations,
         )
-        return campaign.run(n_trials or self.n_trials)
+        tel = _telemetry()
+        with tel.span(
+            "experiment.cell",
+            model=model_name,
+            task=task_name,
+            fault=fault_model.value,
+            policy=policy,
+        ):
+            result = campaign.run(n_trials or self.n_trials)
+        if tel.active:
+            tel.metrics.counter("experiment.cells").add()
+        return result

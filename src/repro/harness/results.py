@@ -1,11 +1,18 @@
-"""Experiment result containers and text rendering."""
+"""Experiment result containers, text rendering, and JSONL persistence.
+
+Persisted results carry the telemetry run manifest (seed, config hash,
+git revision, telemetry schema version) as their first record;
+:func:`load_result` asserts the schema version so files written by an
+incompatible build fail loudly instead of silently misparsing.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
-__all__ = ["ExperimentResult", "format_table"]
+__all__ = ["ExperimentResult", "format_table", "save_result", "load_result"]
 
 
 @dataclass
@@ -63,3 +70,56 @@ def format_table(result: ExperimentResult) -> str:
     for note in result.notes:
         lines.append(f"note: {note}")
     return "\n".join(lines)
+
+
+def save_result(
+    result: ExperimentResult,
+    path: str | Path,
+    seed: int | None = None,
+    config: dict | None = None,
+) -> Path:
+    """Write an experiment result as a manifest-headed JSONL run."""
+    from repro.obs.export import JsonlWriter
+    from repro.obs.manifest import build_manifest
+
+    path = Path(path)
+    manifest = build_manifest(
+        seed=seed,
+        config=config or {"experiment_id": result.experiment_id},
+        command=f"experiment:{result.experiment_id}",
+        extra={"experiment_id": result.experiment_id, "title": result.title},
+    )
+    with JsonlWriter(path) as writer:
+        writer.write(manifest)
+        for row in result.rows:
+            writer.write({"kind": "row", **row})
+        for note in result.notes:
+            writer.write({"kind": "note", "text": note})
+    return path
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Load a :func:`save_result` file, asserting the telemetry schema.
+
+    Raises :class:`repro.obs.SchemaMismatchError` when the file was
+    written under a different ``TELEMETRY_SCHEMA_VERSION`` — stale runs
+    must be regenerated, not reinterpreted.
+    """
+    from repro.obs.export import read_jsonl
+    from repro.obs.manifest import check_schema
+
+    records = read_jsonl(path)
+    if not records or records[0].get("kind") != "manifest":
+        raise ValueError(f"{path}: missing manifest header record")
+    manifest = check_schema(records[0], path)
+    result = ExperimentResult(
+        experiment_id=manifest.get("experiment_id", "unknown"),
+        title=manifest.get("title", ""),
+    )
+    for record in records[1:]:
+        kind = record.pop("kind", None)
+        if kind == "row":
+            result.add(**record)
+        elif kind == "note":
+            result.note(record["text"])
+    return result

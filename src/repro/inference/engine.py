@@ -18,6 +18,7 @@ a vectorised, allocation-light forward pass over a trained
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,6 +30,7 @@ from repro.inference.storage import WeightStore, make_weight_store
 from repro.model.config import ModelConfig
 from repro.model.params import ParamStore
 from repro.model.transformer import rope_tables
+from repro.obs.runtime import telemetry as _telemetry
 
 __all__ = ["InferenceEngine", "Session", "CaptureState"]
 
@@ -237,13 +239,28 @@ class InferenceEngine:
 
         Returns logits of shape ``(len(tokens), vocab)``.
         """
-        cfg = self.config
         ids = np.asarray(tokens, dtype=np.int64)
         # Corrupted weights legitimately overflow float32 (an MSB
         # exponent flip scales a value by ~2^128); inf/nan propagation
         # *is* the studied behaviour, so silence the warnings.
+        tel = _telemetry()
         with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
-            return self._forward_impl(ids, caches, start_pos, iteration)
+            if not tel.active:
+                return self._forward_impl(ids, caches, start_pos, iteration)
+            t0 = time.perf_counter()
+            tel.marks["forward_start"] = t0
+            out = self._forward_impl(ids, caches, start_pos, iteration)
+            metrics = tel.metrics
+            metrics.histogram("engine.forward_ms").observe(
+                (time.perf_counter() - t0) * 1e3
+            )
+            metrics.counter("engine.forward_calls").add()
+            metrics.counter("engine.tokens").add(ids.size)
+            if caches:
+                metrics.gauge("engine.kv_occupancy").set(
+                    caches[0].length / caches[0].max_seq
+                )
+            return out
 
     def _forward_impl(
         self,

@@ -1,0 +1,62 @@
+"""repro.obs — end-to-end telemetry for the resilience study.
+
+Zero-dependency observability layer: nestable tracing spans with a
+no-op fast path, a metrics registry (counters / gauges / p50-p95-p99
+histograms), JSONL run export with a provenance manifest, and a text
+reporter (``python -m repro obs report run.jsonl``).
+
+The study's scale (thousands of injection trials per campaign cell)
+makes silent failures and unexplained slowdowns expensive; every hot
+path — engine forwards, per-layer outputs, the generation loop,
+campaign trials (including process-pool workers) — reports here when
+telemetry is enabled, and costs one attribute check when it is not.
+"""
+
+from repro.obs.export import (
+    JsonlWriter,
+    RunData,
+    read_jsonl,
+    read_run,
+    write_run,
+)
+from repro.obs.instrument import attach_layer_timing
+from repro.obs.manifest import (
+    TELEMETRY_SCHEMA_VERSION,
+    SchemaMismatchError,
+    build_manifest,
+    check_schema,
+    config_hash,
+    git_revision,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import render_report, report_path
+from repro.obs.runtime import Telemetry, disable, enable, log_line, telemetry
+from repro.obs.trace import SpanRecord, Tracer
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlWriter",
+    "MetricsRegistry",
+    "RunData",
+    "SchemaMismatchError",
+    "SpanRecord",
+    "Telemetry",
+    "Tracer",
+    "attach_layer_timing",
+    "build_manifest",
+    "check_schema",
+    "config_hash",
+    "disable",
+    "enable",
+    "git_revision",
+    "log_line",
+    "read_jsonl",
+    "read_run",
+    "render_report",
+    "report_path",
+    "telemetry",
+    "write_run",
+]

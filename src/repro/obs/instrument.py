@@ -1,0 +1,51 @@
+"""Instrumentation helpers that attach telemetry to the engine.
+
+Per-layer timing rides the engine's existing :class:`HookManager`
+mechanism — the same interception point fault injectors use — so the
+measurement sees exactly the layer boundaries the study injects at.
+Each hook observes the wall time from the previous layer's output (or
+the start of the forward, whichever is later) to its own output; the
+deltas tile the forward pass, so summed layer times ≈ forward time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["attach_layer_timing"]
+
+
+def attach_layer_timing(engine, telemetry=None) -> Callable[[], None]:
+    """Register timing hooks on every faultable linear layer.
+
+    Returns a single detach handle removing all hooks.  Histograms are
+    keyed ``engine.layer_ms.<full_layer_name>`` in the telemetry's
+    metrics registry.
+    """
+    from repro.obs.runtime import telemetry as _global_telemetry
+
+    tel = telemetry or _global_telemetry()
+    registry = tel.metrics
+    state = {"last": 0.0}
+
+    def timing_hook(output, ctx):
+        now = time.perf_counter()
+        base = max(state["last"], tel.marks.get("forward_start", 0.0))
+        if base > 0.0:
+            registry.histogram(f"engine.layer_ms.{ctx.full_name}").observe(
+                (now - base) * 1e3
+            )
+        state["last"] = now
+        return None
+
+    handles = [
+        engine.hooks.register(name, timing_hook)
+        for name in engine.linear_layer_names()
+    ]
+
+    def detach() -> None:
+        for handle in handles:
+            handle()
+
+    return detach

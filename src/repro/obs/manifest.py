@@ -1,0 +1,114 @@
+"""Run manifests: the provenance header of every telemetry stream.
+
+A manifest pins everything needed to reproduce (or refuse to misparse)
+a run: the telemetry schema version, campaign seed, a hash of the run
+configuration, the git revision, package versions and timestamps.
+``TELEMETRY_SCHEMA_VERSION`` must be bumped whenever the JSONL record
+shapes change; loaders assert it so stale files fail loudly instead of
+silently misparsing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "SchemaMismatchError",
+    "config_hash",
+    "git_revision",
+    "build_manifest",
+    "check_schema",
+]
+
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+class SchemaMismatchError(RuntimeError):
+    """A telemetry file was written under an incompatible schema."""
+
+
+def config_hash(config: dict) -> str:
+    """Deterministic short hash of a JSON-able configuration dict."""
+    payload = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def git_revision(cwd: str | Path | None = None) -> str:
+    """Current git commit, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=str(cwd) if cwd else None,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip()
+
+
+def _package_versions() -> dict:
+    versions = {"python": platform.python_version()}
+    for name in ("numpy", "scipy"):
+        module = sys.modules.get(name)
+        if module is None:
+            try:
+                module = __import__(name)
+            except ImportError:
+                continue
+        versions[name] = getattr(module, "__version__", "unknown")
+    return versions
+
+
+def build_manifest(
+    seed: int | None = None,
+    config: dict | None = None,
+    command: str | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble the ``kind="manifest"`` record for one run.
+
+    ``seed``/``config`` identify the experiment; the hash covers only
+    ``config`` so it is stable across machines and re-runs (timestamps
+    and git state live beside it, not inside it).
+    """
+    config = config or {}
+    manifest = {
+        "kind": "manifest",
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "seed": seed,
+        "command": command,
+        "config": config,
+        "config_hash": config_hash(config),
+        "git_rev": git_revision(Path(__file__).resolve().parents[3]),
+        "packages": _package_versions(),
+        "created_unix": time.time(),
+        "created_iso": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def check_schema(manifest: dict, path: str | Path | None = None) -> dict:
+    """Assert a loaded manifest matches the current schema version."""
+    where = f" in {path}" if path else ""
+    version = manifest.get("schema_version")
+    if version != TELEMETRY_SCHEMA_VERSION:
+        raise SchemaMismatchError(
+            f"telemetry schema mismatch{where}: file has"
+            f" {version!r}, this build reads"
+            f" {TELEMETRY_SCHEMA_VERSION} — regenerate the run or use a"
+            " matching repro version"
+        )
+    return manifest

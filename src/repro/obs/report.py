@@ -1,0 +1,180 @@
+"""Summary reporter: ``python -m repro obs report <run.jsonl>``.
+
+Renders a telemetry run as aligned text tables: the manifest header,
+a span timing breakdown (grouped by span name), histogram quantiles
+(per-layer forward time, trial latency), counters (trials, tokens,
+injections, Masked/SDC outcome tallies) and gauges.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+
+from repro.obs.export import RunData, read_run
+
+__all__ = ["render_report", "report_path", "main"]
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return lines
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.4g}"
+
+
+def _span_section(run: RunData) -> list[str]:
+    if not run.spans:
+        return []
+    grouped: dict[str, list[float]] = defaultdict(list)
+    for span in run.spans:
+        grouped[span.name].append(span.duration * 1e3)
+    rows = []
+    for name in sorted(grouped):
+        durations = sorted(grouped[name])
+        n = len(durations)
+        total = sum(durations)
+        rows.append(
+            [
+                name,
+                str(n),
+                _fmt(total),
+                _fmt(total / n),
+                _fmt(durations[n // 2]),
+                _fmt(durations[min(n - 1, int(0.95 * (n - 1)))]),
+                _fmt(durations[min(n - 1, int(0.99 * (n - 1)))]),
+                _fmt(durations[-1]),
+            ]
+        )
+    lines = ["", "== spans (ms) =="]
+    lines += _table(
+        ["name", "count", "total", "mean", "p50", "p95", "p99", "max"], rows
+    )
+    return lines
+
+
+def _histogram_section(run: RunData) -> list[str]:
+    if not run.metrics.histograms:
+        return []
+    rows = []
+    for name in sorted(run.metrics.histograms):
+        summary = run.metrics.histogram(name).summary()
+        if summary["count"] == 0:
+            continue
+        rows.append(
+            [
+                name,
+                str(summary["count"]),
+                _fmt(summary["mean"]),
+                _fmt(summary["p50"]),
+                _fmt(summary["p95"]),
+                _fmt(summary["p99"]),
+                _fmt(summary["max"]),
+            ]
+        )
+    lines = ["", "== histograms =="]
+    lines += _table(["name", "count", "mean", "p50", "p95", "p99", "max"], rows)
+    return lines
+
+
+def _scalar_section(run: RunData) -> list[str]:
+    lines = []
+    if run.metrics.counters:
+        lines += ["", "== counters =="]
+        lines += _table(
+            ["name", "value"],
+            [
+                [name, _fmt(counter.value)]
+                for name, counter in sorted(run.metrics.counters.items())
+            ],
+        )
+    if run.metrics.gauges:
+        lines += ["", "== gauges =="]
+        lines += _table(
+            ["name", "value"],
+            [
+                [name, _fmt(gauge.value)]
+                for name, gauge in sorted(run.metrics.gauges.items())
+            ],
+        )
+    return lines
+
+
+def _derived_section(run: RunData) -> list[str]:
+    """Headline rates the raw instruments imply (tokens/sec, SDC rate)."""
+    lines = []
+    counters = run.metrics.counters
+    tokens = counters.get("decode.tokens")
+    decode_ms = run.metrics.histograms.get("decode.generate_ms")
+    if tokens and decode_ms and decode_ms.total > 0:
+        lines.append(
+            f"tokens/sec (decode): {tokens.value / (decode_ms.total / 1e3):.1f}"
+        )
+    outcome_names = [n for n in counters if n.startswith("campaign.outcome.")]
+    if outcome_names:
+        total = sum(counters[n].value for n in outcome_names)
+        masked = counters.get("campaign.outcome.masked")
+        if total > 0:
+            sdc = total - (masked.value if masked else 0.0)
+            lines.append(f"SDC rate: {sdc / total:.3f} over {int(total)} trials")
+    if lines:
+        lines = ["", "== derived =="] + lines
+    return lines
+
+
+def render_report(run: RunData) -> str:
+    manifest = run.manifest
+    lines = [
+        "== run manifest ==",
+        f"command        {manifest.get('command')}",
+        f"seed           {manifest.get('seed')}",
+        f"config hash    {manifest.get('config_hash')}",
+        f"schema         v{manifest.get('schema_version')}",
+        f"git rev        {manifest.get('git_rev')}",
+        f"created        {manifest.get('created_iso')}",
+        "packages       "
+        + ", ".join(
+            f"{k}={v}" for k, v in sorted(manifest.get("packages", {}).items())
+        ),
+    ]
+    lines += _span_section(run)
+    lines += _histogram_section(run)
+    lines += _scalar_section(run)
+    lines += _derived_section(run)
+    return "\n".join(lines)
+
+
+def report_path(path: str | Path) -> str:
+    """Load a run file and render its report."""
+    return render_report(read_run(path))
+
+
+def main(argv: list[str]) -> int:
+    """Entry point for the ``obs report`` subcommand."""
+    import sys
+
+    from repro.obs.manifest import SchemaMismatchError
+
+    if not argv:
+        print("usage: python -m repro obs report <run.jsonl>")
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            print(report_path(path))
+        except FileNotFoundError:
+            print(f"error: no such run file: {path}", file=sys.stderr)
+            status = 1
+        except (ValueError, SchemaMismatchError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 1
+    return status

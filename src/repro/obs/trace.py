@@ -1,0 +1,185 @@
+"""Zero-dependency tracing: nestable spans with a no-op fast path.
+
+A :class:`Tracer` records :class:`SpanRecord` entries — wall time via
+``time.perf_counter`` (monotonic), arbitrary attributes, and parent
+links so nested spans reconstruct the call tree of a campaign run.
+When disabled (the default) ``span()`` returns a shared null context
+manager and the hot paths pay a single attribute check, keeping
+instrumented code within the <5% overhead budget.
+
+Spans are recorded *at exit* in completion order; ``span_id`` values
+are assigned at entry in strictly increasing order, so both orderings
+(start order and finish order) are recoverable from the record list.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "Span", "Tracer", "NULL_SPAN"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: where time went and under which parent."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    """Seconds on the tracer's monotonic clock (``perf_counter``)."""
+    duration: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SpanRecord":
+        return cls(
+            name=record["name"],
+            span_id=record["span_id"],
+            parent_id=record["parent_id"],
+            start=record["start"],
+            duration=record["duration"],
+            attrs=dict(record.get("attrs", {})),
+        )
+
+
+class _NullSpan:
+    """Context manager that does nothing (disabled-tracer fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        """Discard attributes (mirror of :meth:`Span.set`)."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span; records itself into the tracer on ``__exit__``."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self._t0 = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (e.g. the outcome)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        self.parent_id = tracer._stack[-1] if tracer._stack else None
+        tracer._stack.append(self.span_id)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        duration = time.perf_counter() - self._t0
+        tracer = self.tracer
+        if tracer._stack and tracer._stack[-1] == self.span_id:
+            tracer._stack.pop()
+        tracer.records.append(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                start=self._t0,
+                duration=duration,
+                attrs=self.attrs,
+            )
+        )
+
+
+class Tracer:
+    """Span recorder; cheap to call when disabled."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.records: list[SpanRecord] = []
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attrs) -> "Span | _NullSpan":
+        """Open a nested span: ``with tracer.span("campaign.trial"):``."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instantaneous (zero-duration) span."""
+        if not self.enabled:
+            return
+        self.records.append(
+            SpanRecord(
+                name=name,
+                span_id=self._alloc_id(),
+                parent_id=self._stack[-1] if self._stack else None,
+                start=time.perf_counter(),
+                duration=0.0,
+                attrs=attrs,
+            )
+        )
+
+    def _alloc_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def adopt(self, records: list[SpanRecord]) -> None:
+        """Merge foreign spans (e.g. from a worker process), re-keyed.
+
+        Span ids are reassigned from this tracer's counter while
+        preserving the foreign parent/child topology; root spans of the
+        adopted batch are parented under the currently open span (if
+        any) so worker trees hang off the campaign span that spawned
+        them.  Adoption order is the caller's responsibility — adopting
+        worker batches in chunk order keeps merged output deterministic
+        with respect to worker scheduling.
+        """
+        remap: dict[int, int] = {}
+        anchor = self._stack[-1] if self._stack else None
+        for record in records:
+            remap[record.span_id] = self._alloc_id()
+        for record in records:
+            parent = record.parent_id
+            self.records.append(
+                SpanRecord(
+                    name=record.name,
+                    span_id=remap[record.span_id],
+                    parent_id=remap.get(parent, anchor) if parent else anchor,
+                    start=record.start,
+                    duration=record.duration,
+                    attrs=dict(record.attrs),
+                )
+            )
+
+    def reset(self) -> None:
+        self.records.clear()
+        self._stack.clear()
+        self._next_id = 1

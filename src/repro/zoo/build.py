@@ -12,7 +12,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import sys
 import time
 from dataclasses import asdict
 from pathlib import Path
@@ -21,6 +20,7 @@ import numpy as np
 
 from repro.model.params import ParamStore
 from repro.model.transformer import TransformerLM
+from repro.obs.runtime import telemetry as _telemetry
 from repro.tasks import World, all_tasks
 from repro.text.tokenizer import Tokenizer
 from repro.training.data import (
@@ -116,25 +116,35 @@ def build_model(
         config = spec.model_config(len(tokenizer))
         model = TransformerLM(config, seed=spec.init_seed)
     stream = _build_stream(spec, world, tokenizer)
-    t0 = time.time()
+    tel = _telemetry()
+    # perf_counter, not time.time: durations must come from the
+    # monotonic clock (wall clock jumps under NTP corrections).
+    t0 = time.perf_counter()
 
     def log(step: int, loss: float) -> None:
-        if verbose:
-            print(
-                f"[zoo:{name}] step {step:5d} loss {loss:6.3f}"
-                f" ({time.time() - t0:6.1f}s)",
-                file=sys.stderr,
-                flush=True,
-            )
-
-    result = train_lm(model, stream, spec.train_config(), on_step=log)
-    if verbose:
-        print(
-            f"[zoo:{name}] done: final loss"
-            f" {result.smoothed_final():.3f} in {time.time() - t0:.1f}s",
-            file=sys.stderr,
-            flush=True,
+        tel.log(
+            f"[zoo:{name}] step {step:5d} loss {loss:6.3f}"
+            f" ({time.perf_counter() - t0:6.1f}s)",
+            echo=verbose,
+            model=name,
+            step=step,
+            loss=loss,
         )
+
+    with tel.span("zoo.build", model=name):
+        result = train_lm(model, stream, spec.train_config(), on_step=log)
+    elapsed = time.perf_counter() - t0
+    if tel.active:
+        tel.metrics.histogram("zoo.build_s").observe(elapsed)
+        tel.metrics.gauge(f"zoo.final_loss.{name}").set(result.smoothed_final())
+    tel.log(
+        f"[zoo:{name}] done: final loss"
+        f" {result.smoothed_final():.3f} in {elapsed:.1f}s",
+        echo=verbose,
+        model=name,
+        final_loss=result.smoothed_final(),
+        elapsed_s=elapsed,
+    )
     return model.to_store()
 
 
