@@ -1,0 +1,218 @@
+"""Engine-throughput micro-benchmark: the perf trajectory's first baseline.
+
+Measures, in one process and against the same weights:
+
+* raw greedy-decode throughput (tokens/sec);
+* the MC-campaign micro-benchmark — 4-option scoring and generative
+  trials with iteration >= 1 computational faults — with this PR's
+  optimizations (shared-prefix batched option scoring, trial-level
+  prefill caching) versus the unoptimized reference path, measured in
+  the same run so the speedup is apples-to-apples.
+
+Writes ``BENCH_engine.json`` under ``artifacts/results/`` (override
+with ``--out``).  Unlike the figure benches this is a standalone script
+(no pytest-benchmark dependency) so CI can run it in ``--smoke`` mode::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.fi import ComputationalFaultInjector, FaultModel, FaultSite
+from repro.generation import GenerationConfig, choose_option, generate_ids
+from repro.inference import InferenceEngine
+from repro.model import ModelConfig, TransformerLM
+from repro.obs import build_manifest
+
+SEED = 20260807
+# eos outside the sampled-token range: throughput runs never stop early.
+NO_EOS = -1
+
+
+def _engine(smoke: bool) -> InferenceEngine:
+    config = ModelConfig(
+        vocab_size=256,
+        d_model=64 if smoke else 96,
+        n_heads=4 if smoke else 6,
+        n_blocks=3 if smoke else 4,
+        d_ff=128 if smoke else 192,
+        max_seq=192,
+    )
+    return InferenceEngine(TransformerLM(config, seed=11).to_store())
+
+
+def _timed(fn, reps: int) -> float:
+    """Best-effort wall seconds for ``reps`` calls (min over 3 rounds)."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_decode(engine: InferenceEngine, smoke: bool) -> dict:
+    rng = np.random.default_rng(SEED)
+    prompt = [int(t) for t in rng.integers(3, 250, size=16)]
+    new_tokens = 16 if smoke else 32
+    config = GenerationConfig(max_new_tokens=new_tokens, eos_id=NO_EOS)
+    reps = 2 if smoke else 4
+    wall = _timed(lambda: generate_ids(engine, prompt, config), reps)
+    return {
+        "prompt_tokens": len(prompt),
+        "new_tokens": new_tokens,
+        "tokens_per_sec": reps * new_tokens / wall,
+    }
+
+
+def bench_mc_scoring(engine: InferenceEngine, smoke: bool) -> dict:
+    """4-option MC scoring: shared-prefix batched vs. per-option full."""
+    rng = np.random.default_rng(SEED + 1)
+    prompt = [int(t) for t in rng.integers(3, 250, size=96)]
+    options = [[int(t) for t in rng.integers(3, 250, size=2)] for _ in range(4)]
+    reps = 4 if smoke else 12
+
+    def run(strategy: str) -> None:
+        choose_option(engine, prompt, options, strategy=strategy)
+
+    wall_ref = _timed(lambda: run("full"), reps)
+    wall_opt = _timed(lambda: run("auto"), reps)
+    return {
+        "prompt_tokens": len(prompt),
+        "n_options": len(options),
+        "option_tokens": len(options[0]),
+        "trials_per_sec_reference": reps / wall_ref,
+        "trials_per_sec_optimized": reps / wall_opt,
+        "wall_s_reference": wall_ref,
+        "wall_s_optimized": wall_opt,
+        "speedup": wall_ref / wall_opt,
+    }
+
+
+def bench_prefill_cached_trials(engine: InferenceEngine, smoke: bool) -> dict:
+    """Generative FI trials with iteration >= 1 computational faults.
+
+    The fault-free iteration-0 forward of every such trial is identical
+    to the baseline's, so the optimized path clones one cached prefill
+    instead of re-running the prompt.  Fault sites cycle deterministically
+    over layers/iterations >= 1 — exactly the trial class the cache serves.
+    """
+    rng = np.random.default_rng(SEED + 2)
+    prompt = [int(t) for t in rng.integers(3, 250, size=128)]
+    config = GenerationConfig(max_new_tokens=4, eos_id=NO_EOS)
+    layers = engine.linear_layer_names()
+    n_trials = 6 if smoke else 16
+    sites = [
+        FaultSite(
+            fault_model=FaultModel.COMP_2BIT,
+            layer_name=layers[i % len(layers)],
+            row=0,
+            col=i % 7,
+            bits=(1 + i % 8, 12 + i % 8),
+            iteration=1 + i % config.max_new_tokens if config.max_new_tokens > 1 else 1,
+            row_frac=0.5,
+        )
+        for i in range(n_trials)
+    ]
+
+    def run_reference() -> None:
+        for site in sites:
+            with ComputationalFaultInjector(engine, site):
+                generate_ids(engine, prompt, config)
+
+    base = engine.start_session(prompt)
+
+    def run_optimized() -> None:
+        for site in sites:
+            with ComputationalFaultInjector(engine, site):
+                generate_ids(engine, prompt, config, session=base.fork())
+
+    wall_ref = _timed(run_reference, 1)
+    wall_opt = _timed(run_optimized, 1)
+    return {
+        "prompt_tokens": len(prompt),
+        "new_tokens": config.max_new_tokens,
+        "n_trials": n_trials,
+        "trials_per_sec_reference": n_trials / wall_ref,
+        "trials_per_sec_optimized": n_trials / wall_opt,
+        "wall_s_reference": wall_ref,
+        "wall_s_optimized": wall_opt,
+        "speedup": wall_ref / wall_opt,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    engine = _engine(args.smoke)
+    decode = bench_decode(engine, args.smoke)
+    mc = bench_mc_scoring(engine, args.smoke)
+    trials = bench_prefill_cached_trials(engine, args.smoke)
+    wall_ref = mc["wall_s_reference"] + trials["wall_s_reference"]
+    wall_opt = mc["wall_s_optimized"] + trials["wall_s_optimized"]
+
+    payload = {
+        "bench_id": "engine",
+        "title": "Engine throughput: batched option scoring + prefill caching",
+        "smoke": args.smoke,
+        "decode": decode,
+        "mc_option_scoring": mc,
+        "prefill_cached_trials": trials,
+        "mc_campaign_microbench": {
+            "description": (
+                "4-option MC scoring + generative trials with"
+                " iteration>=1 computational faults; optimized vs."
+                " unoptimized path timed in the same run"
+            ),
+            "wall_s_reference": wall_ref,
+            "wall_s_optimized": wall_opt,
+            "speedup": wall_ref / wall_opt,
+        },
+        "manifest": build_manifest(
+            seed=SEED,
+            config={"bench": "engine", "smoke": args.smoke},
+            command="bench:engine_throughput",
+        ),
+    }
+
+    out = Path(
+        args.out
+        or Path(__file__).resolve().parent.parent
+        / "artifacts"
+        / "results"
+        / "BENCH_engine.json"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+    print(f"decode: {decode['tokens_per_sec']:.1f} tokens/sec")
+    print(
+        f"mc option scoring: {mc['speedup']:.2f}x"
+        f" ({mc['trials_per_sec_reference']:.1f} ->"
+        f" {mc['trials_per_sec_optimized']:.1f} trials/sec)"
+    )
+    print(
+        f"prefill-cached trials: {trials['speedup']:.2f}x"
+        f" ({trials['trials_per_sec_reference']:.1f} ->"
+        f" {trials['trials_per_sec_optimized']:.1f} trials/sec)"
+    )
+    print(
+        "mc-campaign micro-benchmark:"
+        f" {payload['mc_campaign_microbench']['speedup']:.2f}x"
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

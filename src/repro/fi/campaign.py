@@ -131,6 +131,9 @@ def _worker_run(args: tuple[int, int]) -> tuple[list[TrialRecord], dict | None]:
     campaign = FICampaign.__new__(FICampaign)
     campaign.__dict__.update(state)
     campaign.engine = _WORKER["engine"]
+    # Each worker builds its own prefill-session cache: sessions wrap
+    # the worker-local engine and are deliberately never pickled.
+    campaign._prefill_sessions = {}
     records = [campaign._run_trial(i) for i in range(lo, hi)]
     tel = _telemetry()
     if not tel.active:
@@ -161,6 +164,8 @@ class FICampaign:
         layer_filter: LayerFilter | None = None,
         track_expert_selection: bool = False,
         max_fault_iterations: int | None = None,
+        prefill_cache: bool = True,
+        mc_scoring: str = "auto",
     ) -> None:
         self.engine = engine
         self.tokenizer = tokenizer
@@ -179,8 +184,23 @@ class FICampaign:
         """Restrict computational-fault timing to iterations below this
         bound (the paper's CoT study injects only during reasoning-token
         generation)."""
+        self.prefill_cache = prefill_cache
+        """Reuse one fault-free prefilled session per example for
+        generative trials whose fault strikes at iteration >= 1 (the
+        iteration-0 forward is then bit-identical to the baseline's).
+        Memory faults and iteration-0 computational faults always
+        re-prefill — their prompt forward differs from the baseline."""
+        self.mc_scoring = mc_scoring
+        """Option-scoring strategy passed to :func:`choose_option`
+        (``auto`` shares the prompt prefill across options whenever no
+        fault machinery is armed; set ``full`` to force the unshared
+        reference path, e.g. for equivalence benchmarking)."""
         self._baseline_preds: list | None = None
         self._baseline_selections: list | None = None
+        self._prefill_sessions: dict[int, object] = {}
+        """Per-example fault-free prefilled sessions (never pickled to
+        workers — each worker rebuilds its own lazily)."""
+        self._metric_baseline_memo: dict[tuple[str, int], float] = {}
 
     # -- shared single-example evaluation --------------------------------------
 
@@ -191,11 +211,13 @@ class FICampaign:
 
     def _eval_mc(self, ex: MCExample) -> int:
         prompt, options = self._encode_mc(ex)
-        return choose_option(self.engine, prompt, options)
+        return choose_option(
+            self.engine, prompt, options, strategy=self.mc_scoring
+        )
 
-    def _eval_gen(self, ex: GenExample) -> str:
+    def _eval_gen(self, ex: GenExample, session=None) -> str:
         prompt = self.tokenizer.encode(ex.prompt)
-        ids = generate_ids(self.engine, prompt, self.generation)
+        ids = generate_ids(self.engine, prompt, self.generation, session=session)
         return self.tokenizer.decode(ids)
 
     def _capture_selections(self) -> dict | None:
@@ -280,6 +302,31 @@ class FICampaign:
         metrics.counter(f"campaign.outcome.{record.outcome.name.lower()}").add()
         return record
 
+    def _cached_prefill(self, site: FaultSite, idx: int, ex) -> "object | None":
+        """A clone of the example's fault-free prefilled session, when safe.
+
+        Safe exactly when the trial's iteration-0 forward is guaranteed
+        bit-identical to the baseline's: a computational fault timed at
+        iteration >= 1 on a generative task.  Memory faults corrupt the
+        weights the prefill reads, iteration-0 faults strike the prefill
+        itself, and expert-selection tracking must capture the prefill's
+        routing — all of those re-prefill.
+        """
+        if (
+            not self.prefill_cache
+            or self.is_mc
+            or self.track_expert_selection
+            or not site.fault_model.is_computational
+            or site.iteration == 0
+        ):
+            return None
+        base = self._prefill_sessions.get(idx)
+        if base is None:
+            prompt = self.tokenizer.encode(ex.prompt)
+            base = self.engine.start_session(prompt)
+            self._prefill_sessions[idx] = base
+        return base.fork()
+
     def _run_trial_impl(self, trial: int) -> TrialRecord:
         idx = trial % len(self.examples)
         ex = self.examples[idx]
@@ -287,6 +334,11 @@ class FICampaign:
         if self.max_fault_iterations is not None:
             max_iter = min(max_iter, self.max_fault_iterations)
         site = self._trial_site(trial, max_iter)
+        session = self._cached_prefill(site, idx, ex)
+        tel = _telemetry()
+        if tel.active and not self.is_mc:
+            name = "hits" if session is not None else "misses"
+            tel.metrics.counter(f"engine.prefill_cache_{name}").add()
         if self.track_expert_selection:
             self.engine.capture = CaptureState()
         try:
@@ -294,7 +346,7 @@ class FICampaign:
                 if self.is_mc:
                     pred_idx = self._eval_mc(ex)
                 else:
-                    text = self._eval_gen(ex)
+                    text = self._eval_gen(ex, session=session)
         finally:
             selections = self._capture_selections()
             self.engine.capture = None
@@ -373,10 +425,16 @@ class FICampaign:
         if self.is_mc:
             ex = self.examples[idx]
             return 100.0 * float(self._baseline_preds[idx] == ex.answer_index)
-        scored = score_generative(
-            (metric,), [self._baseline_preds[idx]], [self.examples[idx]]
-        )
-        return scored[metric]
+        # Memoized: _aggregate asks for the same (metric, example) once
+        # per trial, and BLEU/ROUGE/chrF re-scoring is not cheap.
+        key = (metric, idx)
+        cached = self._metric_baseline_memo.get(key)
+        if cached is None:
+            cached = score_generative(
+                (metric,), [self._baseline_preds[idx]], [self.examples[idx]]
+            )[metric]
+            self._metric_baseline_memo[key] = cached
+        return cached
 
     # -- entry points ------------------------------------------------------------
 
@@ -406,14 +464,21 @@ class FICampaign:
 
     def _run(self, n_trials: int, n_workers: int, tel) -> CampaignResult:
         self.compute_baseline()
+        if tel.active and not self.is_mc:
+            # Materialize both counters up front so traced reports always
+            # show the hit/miss pair, even when one side stays zero.
+            tel.metrics.counter("engine.prefill_cache_hits")
+            tel.metrics.counter("engine.prefill_cache_misses")
         if n_workers <= 1:
             trials = [self._run_trial(i) for i in range(n_trials)]
             return self._aggregate(trials)
 
+        # Prefilled sessions hold engine references and KV buffers —
+        # workers rebuild their own lazily instead of unpickling ours.
         state = {
             k: v
             for k, v in self.__dict__.items()
-            if k != "engine"
+            if k not in ("engine", "_prefill_sessions")
         }
         store = ParamStore(
             self.engine.config,

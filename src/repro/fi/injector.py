@@ -42,12 +42,17 @@ class MemoryFaultInjector:
         self._token = store.flip_element_bits(
             self.site.row, self.site.col, list(self.site.bits)
         )
+        # Announce the armed fault so shared-compute fast paths
+        # (prefix caching, batched option scoring) disable themselves
+        # while the weights are corrupted.
+        self.engine.weight_fault_depth += 1
         return self
 
     def __exit__(self, *exc: object) -> None:
         if self._token is not None:
             self.engine.weight_store(self.site.layer_name).restore(self._token)
             self._token = None
+            self.engine.weight_fault_depth -= 1
 
 
 class ComputationalFaultInjector:

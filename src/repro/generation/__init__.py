@@ -7,6 +7,7 @@ from repro.generation.decode import (
     generate_ids,
     greedy_decode,
     score_continuation,
+    score_options,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "generate_ids",
     "greedy_decode",
     "score_continuation",
+    "score_options",
 ]

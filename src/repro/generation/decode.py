@@ -29,6 +29,7 @@ __all__ = [
     "beam_search_decode",
     "generate_ids",
     "score_continuation",
+    "score_options",
     "choose_option",
 ]
 
@@ -50,16 +51,30 @@ class GenerationConfig:
 
 
 def greedy_decode(
-    engine: InferenceEngine, prompt_ids: list[int], config: GenerationConfig
+    engine: InferenceEngine,
+    prompt_ids: list[int],
+    config: GenerationConfig,
+    session: Session | None = None,
 ) -> list[int]:
-    """Argmax decoding; returns generated ids (without the prompt/EOS)."""
-    session = engine.start_session(prompt_ids)
+    """Argmax decoding; returns generated ids (without the prompt/EOS).
+
+    ``session`` optionally supplies an already-prefilled session for
+    ``prompt_ids`` (e.g. a clone of a cached fault-free prefill); it is
+    consumed — the caller must not reuse it afterwards.
+    """
+    if session is None:
+        session = engine.start_session(prompt_ids)
     out: list[int] = []
     logits = session.last_logits
     for _ in range(config.max_new_tokens):
         # NaN-safe argmax: corrupted runs can produce all-NaN logits,
-        # which we map to EOS-free garbage deterministically.
-        token = int(np.nanargmax(logits)) if not np.isnan(logits).all() else 0
+        # which we map to EOS-free garbage deterministically.  The
+        # exceptional branch costs nothing on healthy logits — unlike a
+        # per-token full-vocab isnan scan.
+        try:
+            token = int(np.nanargmax(logits))
+        except ValueError:  # all-NaN logits
+            token = 0
         if token == config.eos_id:
             break
         out.append(token)
@@ -80,11 +95,18 @@ class _Beam:
 
 
 def beam_search_decode(
-    engine: InferenceEngine, prompt_ids: list[int], config: GenerationConfig
+    engine: InferenceEngine,
+    prompt_ids: list[int],
+    config: GenerationConfig,
+    session: Session | None = None,
 ) -> list[int]:
-    """Standard beam search with length normalization."""
+    """Standard beam search with length normalization.
+
+    ``session`` optionally supplies a pre-built prefill for
+    ``prompt_ids`` (consumed, like :func:`greedy_decode`).
+    """
     k = config.num_beams
-    root = engine.start_session(prompt_ids)
+    root = session if session is not None else engine.start_session(prompt_ids)
     beams = [_Beam(root, [], 0.0, False)]
     for _ in range(config.max_new_tokens):
         candidates: list[tuple[float, _Beam, int, float]] = []
@@ -141,20 +163,29 @@ def beam_search_decode(
 
 
 def generate_ids(
-    engine: InferenceEngine, prompt_ids: list[int], config: GenerationConfig
+    engine: InferenceEngine,
+    prompt_ids: list[int],
+    config: GenerationConfig,
+    session: Session | None = None,
 ) -> list[int]:
-    """Dispatch to greedy or beam decoding based on ``num_beams``."""
+    """Dispatch to greedy or beam decoding based on ``num_beams``.
+
+    ``session``, when given, must be a prefilled session for
+    ``prompt_ids`` (it is consumed); campaigns pass clones of a cached
+    fault-free prefill here to skip redundant prompt forwards.
+    """
     decode = greedy_decode if config.num_beams == 1 else beam_search_decode
     tel = _telemetry()
     if not tel.active:
-        return decode(engine, prompt_ids, config)
+        return decode(engine, prompt_ids, config, session=session)
     t0 = time.perf_counter()
     with tel.span(
         "decode.generate",
         num_beams=config.num_beams,
         prompt_tokens=len(prompt_ids),
+        prefilled=session is not None,
     ) as span:
-        out = decode(engine, prompt_ids, config)
+        out = decode(engine, prompt_ids, config, session=session)
         span.set(new_tokens=len(out))
     elapsed_ms = (time.perf_counter() - t0) * 1e3
     metrics = tel.metrics
@@ -167,7 +198,15 @@ def generate_ids(
 def score_continuation(
     engine: InferenceEngine, prompt_ids: list[int], option_ids: list[int]
 ) -> float:
-    """Summed log-likelihood of ``option_ids`` following ``prompt_ids``."""
+    """Summed log-likelihood of ``option_ids`` following ``prompt_ids``.
+
+    This is the unshared reference path: one full forward over
+    ``prompt + option``.  It is exact under any active fault injection
+    (a one-shot computational fault strikes exactly one option's
+    forward, as on real hardware) and is what the shared-prefix fast
+    paths below fall back to whenever :meth:`InferenceEngine.fi_active`
+    reports armed fault machinery.
+    """
     if not option_ids:
         raise ValueError("option must contain at least one token")
     full = [*prompt_ids, *option_ids]
@@ -180,10 +219,116 @@ def score_continuation(
     return float(logp[positions, option_ids].sum())
 
 
+def _clean_logp(logits: np.ndarray) -> np.ndarray:
+    return log_softmax_np(
+        np.nan_to_num(logits, nan=-1e9, posinf=1e9, neginf=-1e9), axis=-1
+    )
+
+
+def _resolve_strategy(engine: InferenceEngine, strategy: str) -> str:
+    """Map ``auto`` to the fastest *FI-safe* scoring strategy.
+
+    The shared-prefix strategies prefill the prompt once, so an armed
+    fault (hook or flipped weight) or an active capture would observe a
+    different computation than the per-option reference path — ``auto``
+    therefore falls back to ``full`` in those cases.
+    """
+    if strategy == "auto":
+        if engine.fi_active() or engine.capture is not None:
+            return "full"
+        return "batched"
+    if strategy not in ("full", "incremental", "batched"):
+        raise ValueError(f"unknown option-scoring strategy {strategy!r}")
+    return strategy
+
+
+def score_options(
+    engine: InferenceEngine,
+    prompt_ids: list[int],
+    options_ids: list[list[int]],
+    strategy: str = "auto",
+) -> list[float]:
+    """Per-option summed log-likelihood of each option after the prompt.
+
+    Strategies:
+
+    * ``full`` — the reference path: one ``forward_full(prompt+option)``
+      per option (pays the prompt FLOPs once *per option*).
+    * ``incremental`` — prefill the prompt once, then score each option
+      by appending its tokens to the shared KV cache and truncating
+      back (prompt FLOPs paid once; no cache copies).
+    * ``batched`` — like ``incremental`` but all options run as one
+      ``(B, t)`` batched forward against the shared read-only prefix.
+    * ``auto`` — ``batched`` when no fault machinery or capture is
+      active, else ``full``.
+
+    All strategies agree on fault-free engines up to float-associativity
+    (chunked vs. full matmuls); the argmax option is stable in practice
+    and asserted identical by the equivalence tests.
+    """
+    if not options_ids:
+        raise ValueError("need at least one option to score")
+    for option in options_ids:
+        if not option:
+            raise ValueError("option must contain at least one token")
+    resolved = _resolve_strategy(engine, strategy)
+    if resolved == "full":
+        return [
+            score_continuation(engine, prompt_ids, option)
+            for option in options_ids
+        ]
+
+    session = engine.start_session(prompt_ids)
+    prompt_len = len(prompt_ids)
+    first_logp = _clean_logp(session.last_logits)
+    scores = [float(first_logp[option[0]]) for option in options_ids]
+    # Only tokens whose *output* is read need a forward: feeding
+    # option[:-1] produces the rows predicting option[1:].
+    tails = [option[:-1] for option in options_ids]
+    longest = max(len(tail) for tail in tails)
+    if longest == 0:
+        return scores
+
+    if resolved == "incremental":
+        for i, (option, tail) in enumerate(zip(options_ids, tails)):
+            if not tail:
+                continue
+            logits = engine.forward(
+                tail, session.caches, start_pos=prompt_len, iteration=0
+            )
+            logp = _clean_logp(logits)
+            scores[i] += float(logp[np.arange(len(tail)), option[1:]].sum())
+            for cache in session.caches:
+                cache.truncate(prompt_len)
+        return scores
+
+    # Batched: rectangular chunk, right-padded.  Padded rows are causal
+    # successors of every real row, so they never influence the scored
+    # positions; their outputs are simply ignored.
+    chunk = np.zeros((len(options_ids), longest), dtype=np.int64)
+    for i, tail in enumerate(tails):
+        chunk[i, : len(tail)] = tail
+    logits = engine.forward(
+        chunk, session.caches, start_pos=prompt_len, iteration=0
+    )
+    tel = _telemetry()
+    if tel.active:
+        tel.metrics.histogram("decode.option_batch_size").observe(
+            len(options_ids)
+        )
+    for i, (option, tail) in enumerate(zip(options_ids, tails)):
+        if not tail:
+            continue
+        logp = _clean_logp(logits[i, : len(tail)])
+        scores[i] += float(logp[np.arange(len(tail)), option[1:]].sum())
+    return scores
+
+
 def choose_option(
     engine: InferenceEngine,
     prompt_ids: list[int],
     options_ids: list[list[int]],
+    strategy: str = "auto",
 ) -> int:
     """Index of the highest-likelihood option (multiple-choice answer)."""
     tel = _telemetry()
@@ -191,11 +336,9 @@ def choose_option(
         "decode.choose_option",
         options=len(options_ids),
         prompt_tokens=len(prompt_ids),
+        strategy=strategy,
     ):
-        scores = [
-            score_continuation(engine, prompt_ids, option)
-            for option in options_ids
-        ]
+        scores = score_options(engine, prompt_ids, options_ids, strategy)
     if tel.active:
         tel.metrics.counter("decode.option_scores").add(len(options_ids))
     return int(np.argmax(scores))

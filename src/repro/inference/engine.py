@@ -76,6 +76,10 @@ class InferenceEngine:
         self.activation_format = activation_format
         self.hooks = HookManager()
         self.capture: CaptureState | None = None
+        self.weight_fault_depth = 0
+        """Count of currently armed weight (memory) faults.  Maintained
+        by :class:`~repro.fi.injector.MemoryFaultInjector` so fast-path
+        optimizations can tell whether the stored weights are pristine."""
 
         # FI-targetable linear layers go behind storage policies; the
         # rest (norm gains, embeddings, lm_head) stay plain float32,
@@ -112,7 +116,35 @@ class InferenceEngine:
     def _w(self, layer_name: str) -> np.ndarray:
         return self._stores[layer_name].array
 
+    # -- fault-injection introspection ------------------------------------------
+
+    def fi_active(self) -> bool:
+        """Whether any fault machinery could perturb the next forward.
+
+        True when forward hooks are registered (computational-fault
+        injectors, Ranger-style detectors, timing probes) or a memory
+        fault is armed (:attr:`weight_fault_depth` > 0).  Redundant-
+        compute optimizations (shared-prefix option scoring, trial
+        prefill caching) must check this and fall back to the exact
+        unshared path so injected corruption propagates exactly as it
+        would have without the optimization.
+        """
+        return len(self.hooks) > 0 or self.weight_fault_depth > 0
+
     # -- forward ----------------------------------------------------------------
+
+    def _linear(self, x: np.ndarray, layer_name: str) -> np.ndarray:
+        """``x @ W`` for ``(t, D)`` or batched ``(B, t, D)`` input.
+
+        Batched input is flattened to one ``(B*t, D)`` GEMM so all batch
+        elements amortize a single large matmul (and one dispatch)
+        instead of ``B`` stacked ones.
+        """
+        w = self._w(layer_name)
+        if x.ndim == 2:
+            return x @ w
+        lead = x.shape[:-1]
+        return (x.reshape(-1, x.shape[-1]) @ w).reshape(*lead, w.shape[1])
 
     def _emit(
         self, output: np.ndarray, block: int, layer: str, iteration: int
@@ -136,20 +168,34 @@ class InferenceEngine:
         cache: KVCache,
         start_pos: int,
         iteration: int,
+        allowed: np.ndarray | None,
     ) -> np.ndarray:
+        """Causal attention for one block.
+
+        ``x`` is ``(t, D)`` for the incremental/prefill path (new K/V
+        are appended to ``cache``) or ``(B, t, D)`` for the batched
+        path, where every batch element attends to the *shared*,
+        read-only prefix in ``cache`` plus its own chunk — the cache is
+        not advanced.  ``allowed`` is the causal mask precomputed once
+        per forward (``None`` when ``t == 1``): over all positions for
+        the 2D path, over the chunk only for the batched path (the
+        prefix is fully visible).
+        """
         cfg = self.config
         prefix = f"blocks.{block}."
-        t = x.shape[0]
+        batched = x.ndim == 3
+        t = x.shape[-2]
         heads, hd = cfg.n_heads, cfg.head_dim
 
-        q = self._emit(x @ self._w(prefix + "q_proj"), block, "q_proj", iteration)
-        k = self._emit(x @ self._w(prefix + "k_proj"), block, "k_proj", iteration)
-        v = self._emit(x @ self._w(prefix + "v_proj"), block, "v_proj", iteration)
+        q = self._emit(self._linear(x, prefix + "q_proj"), block, "q_proj", iteration)
+        k = self._emit(self._linear(x, prefix + "k_proj"), block, "k_proj", iteration)
+        v = self._emit(self._linear(x, prefix + "v_proj"), block, "v_proj", iteration)
 
-        # (t, D) -> (heads, t, hd)
-        q = q.reshape(t, heads, hd).transpose(1, 0, 2)
-        k = k.reshape(t, heads, hd).transpose(1, 0, 2)
-        v = v.reshape(t, heads, hd).transpose(1, 0, 2)
+        # (..., t, D) -> (..., heads, t, hd)
+        split = (*x.shape[:-1], heads, hd)
+        q = q.reshape(split).swapaxes(-3, -2)
+        k = k.reshape(split).swapaxes(-3, -2)
+        v = v.reshape(split).swapaxes(-3, -2)
 
         cos = self._cos[start_pos : start_pos + t]
         sin = self._sin[start_pos : start_pos + t]
@@ -160,20 +206,30 @@ class InferenceEngine:
             return a * cos + rotated * sin
 
         q, k = rot(q), rot(k)
-        cache.append(k, v)
-        keys, values = cache.keys(), cache.values()
-        scores = (q @ keys.swapaxes(-1, -2)) * (hd**-0.5)
-        if t > 1:
-            # Causal mask within the new chunk: new token i may attend
-            # to absolute positions <= start_pos + i.
-            total = cache.length
-            pos = np.arange(total)
-            allowed = pos[None, :] <= (start_pos + np.arange(t))[:, None]
-            scores = np.where(allowed[None], scores, np.float32(-1e9))
-        attn = softmax_np(scores, axis=-1)
-        ctx = (attn @ values).transpose(1, 0, 2).reshape(t, cfg.d_model)
+        scale = np.float32(hd**-0.5)
+        if not batched:
+            cache.append(k, v)
+            keys, values = cache.keys(), cache.values()
+            scores = (q @ keys.swapaxes(-1, -2)) * scale
+            if allowed is not None:
+                scores = np.where(allowed[None], scores, np.float32(-1e9))
+            attn = softmax_np(scores, axis=-1)
+            ctx = (attn @ values).transpose(1, 0, 2).reshape(t, cfg.d_model)
+        else:
+            pk, pv = cache.keys(), cache.values()  # (heads, P, hd), shared
+            scores_prefix = (q @ pk.swapaxes(-1, -2)) * scale  # (B, heads, t, P)
+            scores_self = (q @ k.swapaxes(-1, -2)) * scale  # (B, heads, t, t)
+            if allowed is not None:
+                scores_self = np.where(
+                    allowed[None, None], scores_self, np.float32(-1e9)
+                )
+            scores = np.concatenate([scores_prefix, scores_self], axis=-1)
+            attn = softmax_np(scores, axis=-1)
+            p = cache.length
+            ctx = attn[..., :p] @ pv + attn[..., p:] @ v
+            ctx = ctx.swapaxes(-3, -2).reshape(x.shape[0], t, cfg.d_model)
         return self._emit(
-            ctx @ self._w(prefix + "out_proj"), block, "out_proj", iteration
+            self._linear(ctx, prefix + "out_proj"), block, "out_proj", iteration
         )
 
     def _mlp(
@@ -182,17 +238,20 @@ class InferenceEngine:
         prefix = f"blocks.{block}."
         tag = "" if expert is None else f"experts.{expert}."
         gate = self._emit(
-            h @ self._w(prefix + tag + "gate_proj"),
+            self._linear(h, prefix + tag + "gate_proj"),
             block,
             tag + "gate_proj",
             iteration,
         )
         up = self._emit(
-            h @ self._w(prefix + tag + "up_proj"), block, tag + "up_proj", iteration
+            self._linear(h, prefix + tag + "up_proj"),
+            block,
+            tag + "up_proj",
+            iteration,
         )
         out = silu_np(gate) * up
         return self._emit(
-            out @ self._w(prefix + tag + "down_proj"),
+            self._linear(out, prefix + tag + "down_proj"),
             block,
             tag + "down_proj",
             iteration,
@@ -200,6 +259,14 @@ class InferenceEngine:
 
     def _moe(self, h: np.ndarray, block: int, iteration: int) -> np.ndarray:
         cfg = self.config
+        if h.ndim == 3:
+            # Expert routing is token-wise, so the batched path flattens
+            # the leading axes (expert-selection capture then records
+            # (B*t, top_k) rows, batch-major).
+            batch, t, d = h.shape
+            return self._moe(h.reshape(batch * t, d), block, iteration).reshape(
+                batch, t, d
+            )
         prefix = f"blocks.{block}."
         router_logits = self._emit(
             h @ self._w(prefix + "router"), block, "router", iteration
@@ -238,8 +305,19 @@ class InferenceEngine:
         """Run ``tokens`` (a chunk) through the model, filling ``caches``.
 
         Returns logits of shape ``(len(tokens), vocab)``.
+
+        ``tokens`` may also be a rectangular batch of shape ``(B, t)``:
+        every batch row is then scored against the *shared* prefix
+        already in ``caches`` (one large matmul per linear layer instead
+        of ``B`` small ones), the caches are left untouched, and logits
+        come back as ``(B, t, vocab)``.  Hooks and capture observe the
+        batched ``(B, t, ...)`` tensors in that mode — callers that need
+        exact single-sequence fault semantics must check
+        :meth:`fi_active` first and use the unbatched path.
         """
         ids = np.asarray(tokens, dtype=np.int64)
+        if ids.ndim not in (1, 2):
+            raise ValueError(f"tokens must be 1-D or rectangular 2-D, got {ids.shape}")
         # Corrupted weights legitimately overflow float32 (an MSB
         # exponent flip scales a value by ~2^128); inf/nan propagation
         # *is* the studied behaviour, so silence the warnings.
@@ -271,19 +349,35 @@ class InferenceEngine:
     ) -> np.ndarray:
         cfg = self.config
         x = self._plain["embed.weight"][ids]
+        t = ids.shape[-1]
+        # The causal mask only depends on (start_pos, t), so build it
+        # once per forward instead of once per block.  Batched chunks
+        # mask within the chunk only — the shared prefix is fully
+        # visible to every row.
+        allowed: np.ndarray | None = None
+        if t > 1:
+            new = np.arange(t)
+            if ids.ndim == 1:
+                pos = np.arange(start_pos + t)
+                allowed = pos[None, :] <= (start_pos + new)[:, None]
+            else:
+                allowed = new[None, :] <= new[:, None]
         for b in range(cfg.n_blocks):
             prefix = f"blocks.{b}."
             h = rms_norm_np(
                 x, self._plain[prefix + "attn_norm.weight"], cfg.norm_eps
             )
-            x = x + self._attention(h, b, caches[b], start_pos, iteration)
+            x = x + self._attention(h, b, caches[b], start_pos, iteration, allowed)
             h = rms_norm_np(x, self._plain[prefix + "mlp_norm.weight"], cfg.norm_eps)
             if cfg.is_moe:
                 x = x + self._moe(h, b, iteration)
             else:
                 x = x + self._mlp(h, b, iteration)
         x = rms_norm_np(x, self._plain["final_norm.weight"], cfg.norm_eps)
-        return x @ self._plain["lm_head.weight"]
+        if x.ndim == 2:
+            return x @ self._plain["lm_head.weight"]
+        head = self._plain["lm_head.weight"]
+        return (x.reshape(-1, x.shape[-1]) @ head).reshape(*x.shape[:-1], -1)
 
     def new_caches(self) -> list[KVCache]:
         cfg = self.config

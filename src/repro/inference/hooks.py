@@ -25,6 +25,13 @@ class HookContext:
     prefill is iteration 0 and each subsequently generated token
     increments it — the granularity at which the paper samples
     computational-fault timing.
+
+    The hooked output is normally ``(t, features)``.  Under the
+    engine's batched forward (shared-prefix option scoring) it carries
+    a leading batch axis — ``(B, t, features)`` — with one slice per
+    scored option/hypothesis; batched forwards are only taken when
+    ``InferenceEngine.fi_active()`` is false, so fault-injection hooks
+    never observe batched tensors unless registered mid-flight.
     """
 
     block: int

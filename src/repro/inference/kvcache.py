@@ -45,9 +45,31 @@ class KVCache:
         return self.v[:, : self.length]
 
     def truncate(self, length: int) -> None:
-        """Roll back to a shorter prefix (used by beam search forks)."""
+        """Roll back to a shorter prefix (used by beam search forks and
+        prefix-shared option scoring, which appends option tokens and
+        truncates back instead of copying the cache)."""
         if not 0 <= length <= self.length:
             raise ValueError(f"cannot truncate cache of {self.length} to {length}")
+        self.length = length
+
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """Copy of the filled prefix only: ``(keys, values, length)``.
+
+        Much cheaper than :meth:`clone` when ``length << max_seq`` —
+        the backing buffers are not duplicated; :meth:`restore` writes
+        the prefix back into the existing buffers.
+        """
+        return self.keys().copy(), self.values().copy(), self.length
+
+    def restore(self, snap: tuple[np.ndarray, np.ndarray, int]) -> None:
+        """Rewind to a :meth:`snapshot`, reusing the existing buffers."""
+        k, v, length = snap
+        if length > self.max_seq:
+            raise ValueError(
+                f"snapshot length {length} exceeds cache capacity {self.max_seq}"
+            )
+        self.k[:, :length] = k
+        self.v[:, :length] = v
         self.length = length
 
     def clone(self) -> "KVCache":

@@ -1,0 +1,373 @@
+"""Equivalence tests for the redundant-compute elimination pass.
+
+Three layers of optimization must leave results indistinguishable from
+the reference path:
+
+* shared-prefix (batched/incremental) option scoring vs. per-option
+  ``forward_full`` — same argmax, same scores up to float associativity,
+  and *exactly* the reference path whenever fault machinery is armed;
+* trial-level prefill caching in ``FICampaign`` — identical
+  ``TrialRecord`` sequences for every fault model, serial and parallel;
+* session/KV machinery the above lean on — fork independence after
+  further steps, snapshot/restore round-trips, decoding from a
+  pre-built session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fi import (
+    ComputationalFaultInjector,
+    FaultModel,
+    FaultSite,
+    FICampaign,
+    MemoryFaultInjector,
+)
+from repro.generation import (
+    GenerationConfig,
+    beam_search_decode,
+    choose_option,
+    generate_ids,
+    greedy_decode,
+    score_continuation,
+    score_options,
+)
+from repro.inference import InferenceEngine, KVCache
+from repro.obs import telemetry
+from repro.tasks import MMLUTask, TranslationTask, standardized_subset
+
+PROMPT = [3, 5, 7, 2, 9]
+OPTIONS = [[11, 13], [17], [19, 23, 29], [4, 8]]
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    tel = telemetry()
+    tel.reset()
+    tel.disable()
+    yield tel
+    tel.reset()
+    tel.disable()
+
+
+class TestOptionScoringEquivalence:
+    @pytest.mark.parametrize("strategy", ["incremental", "batched", "auto"])
+    def test_matches_reference_fault_free(self, untrained_engine, strategy):
+        reference = score_options(
+            untrained_engine, PROMPT, OPTIONS, strategy="full"
+        )
+        scores = score_options(untrained_engine, PROMPT, OPTIONS, strategy)
+        np.testing.assert_allclose(scores, reference, rtol=2e-5, atol=1e-5)
+        assert int(np.argmax(scores)) == int(np.argmax(reference))
+
+    def test_matches_reference_moe(self, moe_engine):
+        reference = score_options(moe_engine, PROMPT, OPTIONS, strategy="full")
+        batched = score_options(moe_engine, PROMPT, OPTIONS, strategy="batched")
+        np.testing.assert_allclose(batched, reference, rtol=2e-5, atol=1e-5)
+
+    def test_single_token_options_prefill_only(self, untrained_engine):
+        options = [[11], [13], [17]]
+        reference = [
+            score_continuation(untrained_engine, PROMPT, o) for o in options
+        ]
+        scores = score_options(
+            untrained_engine, PROMPT, options, strategy="batched"
+        )
+        np.testing.assert_allclose(scores, reference, rtol=2e-5, atol=1e-5)
+
+    def test_trained_model_agreement(self, trained_engine, tokenizer, world):
+        for ex in standardized_subset(MMLUTask(world), 6):
+            prompt = tokenizer.encode(ex.prompt)
+            options = [tokenizer.encode(o) for o in ex.options]
+            assert choose_option(
+                trained_engine, prompt, options, strategy="auto"
+            ) == choose_option(trained_engine, prompt, options, strategy="full")
+
+    def test_unknown_strategy_rejected(self, untrained_engine):
+        with pytest.raises(ValueError):
+            score_options(untrained_engine, PROMPT, OPTIONS, strategy="turbo")
+
+    def test_empty_option_rejected(self, untrained_engine):
+        with pytest.raises(ValueError):
+            score_options(untrained_engine, PROMPT, [[1], []], strategy="batched")
+        with pytest.raises(ValueError):
+            score_options(untrained_engine, PROMPT, [], strategy="auto")
+
+
+class TestFISafetyGate:
+    """``auto`` must resolve to the exact reference path under faults."""
+
+    def test_hook_forces_exact_fallback(self, untrained_engine):
+        site = FaultSite(
+            FaultModel.COMP_2BIT, "blocks.0.up_proj", 0, 3, bits=(5, 20)
+        )
+        with ComputationalFaultInjector(untrained_engine, site):
+            injected_auto = score_options(
+                untrained_engine, PROMPT, OPTIONS, strategy="auto"
+            )
+        with ComputationalFaultInjector(untrained_engine, site):
+            injected_full = score_options(
+                untrained_engine, PROMPT, OPTIONS, strategy="full"
+            )
+        # Bit-identical: both one-shot injections struck only the first
+        # option's forward, exactly like the seed path.
+        assert injected_auto == injected_full
+
+    def test_memory_fault_forces_exact_fallback(self, untrained_engine):
+        site = FaultSite(
+            FaultModel.MEM_2BIT, "blocks.0.up_proj", 2, 3, bits=(30, 22)
+        )
+        with MemoryFaultInjector(untrained_engine, site):
+            assert untrained_engine.fi_active()
+            injected_auto = score_options(
+                untrained_engine, PROMPT, OPTIONS, strategy="auto"
+            )
+            injected_full = score_options(
+                untrained_engine, PROMPT, OPTIONS, strategy="full"
+            )
+        assert not untrained_engine.fi_active()
+        assert injected_auto == injected_full
+
+    def test_weight_fault_depth_restored(self, untrained_engine):
+        site = FaultSite(
+            FaultModel.MEM_2BIT, "blocks.1.q_proj", 0, 0, bits=(3, 8)
+        )
+        assert untrained_engine.weight_fault_depth == 0
+        with MemoryFaultInjector(untrained_engine, site):
+            assert untrained_engine.weight_fault_depth == 1
+        assert untrained_engine.weight_fault_depth == 0
+
+
+class TestSessionMachinery:
+    def test_fork_independent_after_further_steps(self, untrained_engine):
+        session = untrained_engine.start_session(PROMPT)
+        fork = session.fork()
+        for token in (4, 8, 15):
+            session.step(token)
+        # The fork is unaffected by the original's later steps: it
+        # decodes exactly like a fresh session.
+        fresh = untrained_engine.start_session(PROMPT)
+        np.testing.assert_array_equal(fork.step(16), fresh.step(16))
+        np.testing.assert_array_equal(fork.step(23), fresh.step(23))
+        assert fork.position == fresh.position == len(PROMPT) + 2
+
+    def test_kvcache_snapshot_restore_roundtrip(self):
+        rng = np.random.default_rng(3)
+        cache = KVCache(2, 8, 4)
+        cache.append(rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 3, 4)))
+        snap = cache.snapshot()
+        cache.append(rng.normal(size=(2, 2, 4)), rng.normal(size=(2, 2, 4)))
+        cache.restore(snap)
+        assert cache.length == 3
+        np.testing.assert_array_equal(cache.keys(), snap[0])
+        np.testing.assert_array_equal(cache.values(), snap[1])
+
+    def test_kvcache_restore_rejects_oversized(self):
+        cache = KVCache(1, 2, 4)
+        big = (np.zeros((1, 5, 4)), np.zeros((1, 5, 4)), 5)
+        with pytest.raises(ValueError):
+            cache.restore(big)
+
+    def test_truncate_then_rescore_is_clean(self, untrained_engine):
+        """Append + truncate (incremental scoring) leaves no residue."""
+        session = untrained_engine.start_session(PROMPT)
+        before = [c.snapshot() for c in session.caches]
+        score_options(
+            untrained_engine, PROMPT, OPTIONS, strategy="incremental"
+        )
+        after = untrained_engine.start_session(PROMPT)
+        for snap, cache in zip(before, after.caches):
+            assert cache.length == snap[2]
+            np.testing.assert_array_equal(cache.keys(), snap[0])
+
+    def test_greedy_from_prebuilt_session(self, trained_engine, tokenizer):
+        prompt = tokenizer.encode("translate : de kato visas un hundo =")
+        config = GenerationConfig(max_new_tokens=8, eos_id=tokenizer.vocab.eos_id)
+        plain = greedy_decode(trained_engine, prompt, config)
+        base = trained_engine.start_session(prompt)
+        cached = greedy_decode(
+            trained_engine, prompt, config, session=base.fork()
+        )
+        assert cached == plain
+
+    def test_beam_from_prebuilt_session(self, trained_engine, tokenizer):
+        prompt = tokenizer.encode("translate : de kato visas un hundo =")
+        config = GenerationConfig(
+            max_new_tokens=6, num_beams=3, eos_id=tokenizer.vocab.eos_id
+        )
+        plain = beam_search_decode(trained_engine, prompt, config)
+        base = trained_engine.start_session(prompt)
+        cached = generate_ids(
+            trained_engine, prompt, config, session=base.fork()
+        )
+        assert cached == plain
+
+
+class TestBatchedForward:
+    def test_batched_chunk_matches_incremental(self, untrained_engine):
+        session = untrained_engine.start_session(PROMPT)
+        chunk = np.array([[4, 8], [15, 16]], dtype=np.int64)
+        batched = untrained_engine.forward(
+            chunk, session.caches, start_pos=len(PROMPT), iteration=0
+        )
+        assert batched.shape[:2] == (2, 2)
+        for row in range(2):
+            per_row = untrained_engine.forward(
+                list(chunk[row]),
+                session.caches,
+                start_pos=len(PROMPT),
+                iteration=0,
+            )
+            for cache in session.caches:
+                cache.truncate(len(PROMPT))
+            np.testing.assert_allclose(
+                batched[row], per_row, rtol=2e-5, atol=1e-5
+            )
+
+    def test_batched_leaves_caches_untouched(self, untrained_engine):
+        session = untrained_engine.start_session(PROMPT)
+        lengths = [c.length for c in session.caches]
+        untrained_engine.forward(
+            np.array([[4], [8], [15]]),
+            session.caches,
+            start_pos=len(PROMPT),
+            iteration=0,
+        )
+        assert [c.length for c in session.caches] == lengths
+
+    def test_forward_rejects_higher_rank(self, untrained_engine):
+        with pytest.raises(ValueError):
+            untrained_engine.forward(
+                np.zeros((2, 2, 2), dtype=np.int64),
+                untrained_engine.new_caches(),
+                start_pos=0,
+                iteration=0,
+            )
+
+
+def _records(result):
+    return [
+        (
+            t.site,
+            t.example_index,
+            t.prediction,
+            t.outcome,
+            t.changed,
+            t.selection_changed,
+            tuple(sorted(t.metrics.items())),
+        )
+        for t in result.trials
+    ]
+
+
+def _mc_campaign(engine, tokenizer, world, fault_model, **kw):
+    task = MMLUTask(world)
+    return FICampaign(
+        engine=engine,
+        tokenizer=tokenizer,
+        task_name=task.name,
+        metrics=task.metrics,
+        examples=standardized_subset(task, 3),
+        fault_model=fault_model,
+        seed=9,
+        **kw,
+    )
+
+
+def _gen_campaign(engine, tokenizer, world, fault_model, **kw):
+    task = TranslationTask(world)
+    return FICampaign(
+        engine=engine,
+        tokenizer=tokenizer,
+        task_name=task.name,
+        metrics=task.metrics,
+        examples=standardized_subset(task, 3),
+        fault_model=fault_model,
+        seed=9,
+        generation=GenerationConfig(
+            max_new_tokens=task.max_new_tokens, eos_id=tokenizer.vocab.eos_id
+        ),
+        **kw,
+    )
+
+
+class TestCampaignEquivalence:
+    """Optimized campaigns replay the unoptimized path bit-for-bit."""
+
+    @pytest.mark.parametrize("fault_model", FaultModel.all())
+    def test_mc_trials_identical(
+        self, untrained_store, tokenizer, world, fault_model
+    ):
+        fast = _mc_campaign(
+            InferenceEngine(untrained_store), tokenizer, world, fault_model
+        ).run(8)
+        slow = _mc_campaign(
+            InferenceEngine(untrained_store),
+            tokenizer,
+            world,
+            fault_model,
+            prefill_cache=False,
+            mc_scoring="full",
+        ).run(8)
+        assert _records(fast) == _records(slow)
+        assert fast.baseline == slow.baseline
+
+    @pytest.mark.parametrize("fault_model", FaultModel.all())
+    def test_generative_trials_identical(
+        self, untrained_store, tokenizer, world, fault_model
+    ):
+        fast = _gen_campaign(
+            InferenceEngine(untrained_store), tokenizer, world, fault_model
+        ).run(8)
+        slow = _gen_campaign(
+            InferenceEngine(untrained_store),
+            tokenizer,
+            world,
+            fault_model,
+            prefill_cache=False,
+            mc_scoring="full",
+        ).run(8)
+        assert _records(fast) == _records(slow)
+
+    def test_parallel_matches_serial_with_cache(
+        self, untrained_store, tokenizer, world
+    ):
+        serial = _gen_campaign(
+            InferenceEngine(untrained_store),
+            tokenizer,
+            world,
+            FaultModel.COMP_2BIT,
+        ).run(6, n_workers=0)
+        parallel = _gen_campaign(
+            InferenceEngine(untrained_store),
+            tokenizer,
+            world,
+            FaultModel.COMP_2BIT,
+        ).run(6, n_workers=2)
+        assert _records(serial) == _records(parallel)
+
+    def test_prefill_cache_counters_traced(
+        self, untrained_store, tokenizer, world, clean_telemetry
+    ):
+        clean_telemetry.enable()
+        _gen_campaign(
+            InferenceEngine(untrained_store),
+            tokenizer,
+            world,
+            FaultModel.COMP_2BIT,
+        ).run(6)
+        counters = clean_telemetry.metrics.counters
+        assert "engine.prefill_cache_hits" in counters
+        assert "engine.prefill_cache_misses" in counters
+        hits = counters["engine.prefill_cache_hits"].value
+        misses = counters["engine.prefill_cache_misses"].value
+        assert hits + misses == 6
+        assert hits > 0  # iteration>=1 faults dominate a 12-token window
+
+    def test_option_batch_histogram_traced(
+        self, untrained_engine, clean_telemetry
+    ):
+        clean_telemetry.enable()
+        choose_option(untrained_engine, PROMPT, OPTIONS)
+        hist = clean_telemetry.metrics.histograms["decode.option_batch_size"]
+        assert hist.values == [len(OPTIONS)]
