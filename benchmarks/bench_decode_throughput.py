@@ -1,0 +1,184 @@
+"""Continuous-batched decode micro-benchmark.
+
+Measures, against the same weights and in the same process:
+
+* greedy decode throughput — the serial reference loop (one forward per
+  sequence per token) versus :class:`repro.generation.BatchedDecoder`
+  stepping all prompts as one batched forward per token over a pooled
+  KV cache;
+* beam search — per-beam serial sessions with ``Session.fork`` deep
+  copies versus the k-beams-as-batch-rows rewrite with copy-on-fork
+  inside the pool.
+
+Before timing, the batched outputs are asserted identical to the serial
+ones (token-for-token); the script exits non-zero on any mismatch, so
+CI runs double as an equivalence gate.
+
+Writes ``BENCH_decode.json`` under ``artifacts/results/`` and copies it
+to the repo root.  Standalone (no pytest-benchmark) so CI can run it in
+``--smoke`` mode::
+
+    PYTHONPATH=src python benchmarks/bench_decode_throughput.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.generation import (
+    BatchedDecoder,
+    GenerationConfig,
+    beam_search_decode,
+    greedy_decode,
+)
+from repro.inference import InferenceEngine
+from repro.model import ModelConfig, TransformerLM
+from repro.obs import build_manifest
+
+SEED = 20260807
+# eos outside the sampled-token range: throughput runs never stop early.
+NO_EOS = -1
+
+
+def _engine(smoke: bool) -> InferenceEngine:
+    config = ModelConfig(
+        vocab_size=256,
+        d_model=64 if smoke else 96,
+        n_heads=4 if smoke else 6,
+        n_blocks=3 if smoke else 4,
+        d_ff=128 if smoke else 192,
+        max_seq=192,
+    )
+    return InferenceEngine(TransformerLM(config, seed=11).to_store())
+
+
+def _prompts(n: int) -> list[list[int]]:
+    rng = np.random.default_rng(SEED)
+    # Varied lengths so retirement is ragged and slots actually refill.
+    return [
+        [int(t) for t in rng.integers(3, 250, size=int(rng.integers(8, 24)))]
+        for _ in range(n)
+    ]
+
+
+def _timed(fn, reps: int) -> float:
+    """Best-effort wall seconds for ``reps`` calls (min over 3 rounds)."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_greedy(engine: InferenceEngine, smoke: bool) -> dict:
+    n_prompts = 3 if smoke else 8
+    prompts = _prompts(n_prompts)
+    new_tokens = 12 if smoke else 32
+    config = GenerationConfig(max_new_tokens=new_tokens, eos_id=NO_EOS)
+    decoder = BatchedDecoder(engine, config, max_batch=n_prompts)
+
+    serial = [greedy_decode(engine, p, config, strategy="serial") for p in prompts]
+    batched = decoder.decode_many(prompts)
+    if batched != serial:
+        raise SystemExit("batched greedy decode diverged from serial reference")
+
+    reps = 1 if smoke else 2
+    wall_serial = _timed(
+        lambda: [
+            greedy_decode(engine, p, config, strategy="serial") for p in prompts
+        ],
+        reps,
+    )
+    wall_batched = _timed(lambda: decoder.decode_many(prompts), reps)
+    total = reps * n_prompts * new_tokens
+    return {
+        "n_prompts": n_prompts,
+        "new_tokens": new_tokens,
+        "tokens_per_sec_serial": total / wall_serial,
+        "tokens_per_sec_batched": total / wall_batched,
+        "wall_s_serial": wall_serial,
+        "wall_s_batched": wall_batched,
+        "speedup": wall_serial / wall_batched,
+        "outputs_identical": True,
+    }
+
+
+def bench_beam(engine: InferenceEngine, smoke: bool) -> dict:
+    prompt = _prompts(1)[0]
+    new_tokens = 8 if smoke else 16
+    config = GenerationConfig(
+        max_new_tokens=new_tokens, eos_id=NO_EOS, num_beams=4
+    )
+    decoder = BatchedDecoder(engine, config)
+
+    serial = beam_search_decode(engine, prompt, config, strategy="serial")
+    batched = decoder.beam_decode(prompt)
+    if batched != serial:
+        raise SystemExit("batched beam search diverged from serial reference")
+
+    reps = 1 if smoke else 2
+    wall_serial = _timed(
+        lambda: beam_search_decode(engine, prompt, config, strategy="serial"),
+        reps,
+    )
+    wall_batched = _timed(lambda: decoder.beam_decode(prompt), reps)
+    return {
+        "num_beams": config.num_beams,
+        "new_tokens": new_tokens,
+        "wall_s_serial": wall_serial,
+        "wall_s_batched": wall_batched,
+        "speedup": wall_serial / wall_batched,
+        "outputs_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    engine = _engine(args.smoke)
+    greedy = bench_greedy(engine, args.smoke)
+    beam = bench_beam(engine, args.smoke)
+
+    payload = {
+        "bench_id": "decode",
+        "title": "Continuous-batched decoding over a pooled KV cache",
+        "smoke": args.smoke,
+        "greedy": greedy,
+        "beam": beam,
+        "manifest": build_manifest(
+            seed=SEED,
+            config={"bench": "decode", "smoke": args.smoke},
+            command="bench:decode_throughput",
+        ),
+    }
+
+    repo_root = Path(__file__).resolve().parent.parent
+    out = Path(args.out or repo_root / "artifacts" / "results" / "BENCH_decode.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    out.write_text(text)
+    root_copy = repo_root / "BENCH_decode.json"
+    root_copy.write_text(text)
+    print(
+        f"greedy: {greedy['speedup']:.2f}x"
+        f" ({greedy['tokens_per_sec_serial']:.1f} ->"
+        f" {greedy['tokens_per_sec_batched']:.1f} tokens/sec,"
+        f" batch={greedy['n_prompts']})"
+    )
+    print(f"beam: {beam['speedup']:.2f}x (k={beam['num_beams']})")
+    print(f"wrote {out} (+ {root_copy})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

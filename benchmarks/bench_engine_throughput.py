@@ -186,15 +186,14 @@ def main(argv: list[str] | None = None) -> int:
         ),
     }
 
-    out = Path(
-        args.out
-        or Path(__file__).resolve().parent.parent
-        / "artifacts"
-        / "results"
-        / "BENCH_engine.json"
-    )
+    repo_root = Path(__file__).resolve().parent.parent
+    out = Path(args.out or repo_root / "artifacts" / "results" / "BENCH_engine.json")
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    out.write_text(text)
+    # Keep a copy at the repo root so the headline numbers ship with
+    # the tree (same convention as BENCH_decode.json).
+    (repo_root / "BENCH_engine.json").write_text(text)
     print(f"decode: {decode['tokens_per_sec']:.1f} tokens/sec")
     print(
         f"mc option scoring: {mc['speedup']:.2f}x"

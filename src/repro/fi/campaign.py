@@ -25,6 +25,7 @@ from repro.fi.fault_models import FaultModel
 from repro.fi.injector import inject
 from repro.fi.outcomes import Outcome, classify_direct_answer, classify_generative
 from repro.fi.sites import FaultSite, LayerFilter, sample_site
+from repro.generation.batched import BatchedDecoder
 from repro.generation.decode import GenerationConfig, choose_option, generate_ids
 from repro.inference.engine import CaptureState, InferenceEngine
 from repro.metrics.evaluate import score_generative
@@ -166,6 +167,8 @@ class FICampaign:
         max_fault_iterations: int | None = None,
         prefill_cache: bool = True,
         mc_scoring: str = "auto",
+        decode_strategy: str = "auto",
+        decode_batch_size: int = 8,
     ) -> None:
         self.engine = engine
         self.tokenizer = tokenizer
@@ -195,6 +198,15 @@ class FICampaign:
         (``auto`` shares the prompt prefill across options whenever no
         fault machinery is armed; set ``full`` to force the unshared
         reference path, e.g. for equivalence benchmarking)."""
+        self.decode_strategy = decode_strategy
+        """Decode routing passed to :func:`generate_ids` (``auto``
+        batches whenever :func:`decode_batching_safe` allows it —
+        fault-free baselines batch across examples, faulty trials batch
+        only under row-scoped hooks; set ``serial`` to force the exact
+        per-sequence reference loop everywhere)."""
+        self.decode_batch_size = decode_batch_size
+        """Continuous-batching width for the fault-free generative
+        baseline sweep (faulty trials decode one sequence at a time)."""
         self._baseline_preds: list | None = None
         self._baseline_selections: list | None = None
         self._prefill_sessions: dict[int, object] = {}
@@ -217,7 +229,13 @@ class FICampaign:
 
     def _eval_gen(self, ex: GenExample, session=None) -> str:
         prompt = self.tokenizer.encode(ex.prompt)
-        ids = generate_ids(self.engine, prompt, self.generation, session=session)
+        ids = generate_ids(
+            self.engine,
+            prompt,
+            self.generation,
+            session=session,
+            strategy=self.decode_strategy,
+        )
         return self.tokenizer.decode(ids)
 
     def _capture_selections(self) -> dict | None:
@@ -232,14 +250,32 @@ class FICampaign:
         """Fault-free predictions + metrics over all examples (cached)."""
         if self._baseline_preds is not None:
             return self._baseline_metrics
-        preds = []
-        selections = []
-        for ex in self.examples:
-            if self.track_expert_selection:
-                self.engine.capture = CaptureState()
-            preds.append(self._eval_mc(ex) if self.is_mc else self._eval_gen(ex))
-            selections.append(self._capture_selections())
-            self.engine.capture = None
+        if (
+            not self.is_mc
+            and not self.track_expert_selection
+            and self.decode_strategy == "auto"
+        ):
+            # Fault-free sweep: nothing is armed, so the continuous
+            # batcher decodes all examples together (it still falls
+            # back to the serial reference path if anything is).
+            decoder = BatchedDecoder(
+                self.engine, self.generation, max_batch=self.decode_batch_size
+            )
+            prompts = [self.tokenizer.encode(ex.prompt) for ex in self.examples]
+            preds = [self.tokenizer.decode(ids) for ids in
+                     decoder.generate_many(prompts)]
+            selections: list = [None] * len(preds)
+        else:
+            preds = []
+            selections = []
+            for ex in self.examples:
+                if self.track_expert_selection:
+                    self.engine.capture = CaptureState()
+                preds.append(
+                    self._eval_mc(ex) if self.is_mc else self._eval_gen(ex)
+                )
+                selections.append(self._capture_selections())
+                self.engine.capture = None
         self._baseline_preds = preds
         self._baseline_selections = selections
         if self.is_mc:

@@ -56,18 +56,40 @@ class MemoryFaultInjector:
 
 
 class ComputationalFaultInjector:
-    """One-shot activation corruption at a chosen generation iteration."""
+    """One-shot activation corruption at a chosen generation iteration.
 
-    def __init__(self, engine: InferenceEngine, site: FaultSite) -> None:
+    The hook is registered *row-scoped*: it corrupts exactly one
+    element of whatever tensor slice it is handed, so batched decoding
+    stays enabled while it is armed — under a batched decode step the
+    engine applies hooks once per batch row on that row's own
+    ``(1, features)`` slice, and the one-shot strikes exactly one
+    sequence (the first row reaching the target iteration, which is the
+    same hypothesis the serial loop would have struck).  ``batch_row``
+    optionally pins the strike to a specific batch row instead.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        site: FaultSite,
+        batch_row: int | None = None,
+    ) -> None:
         if not site.fault_model.is_computational:
             raise ValueError(f"{site.fault_model} is not a computational model")
         self.engine = engine
         self.site = site
+        self.batch_row = batch_row
         self.fired = False
         self._remove: Callable[[], None] | None = None
 
     def _hook(self, output: np.ndarray, ctx: HookContext) -> np.ndarray | None:
         if self.fired or ctx.iteration != self.site.iteration:
+            return None
+        if (
+            self.batch_row is not None
+            and ctx.batch_row is not None
+            and ctx.batch_row != self.batch_row
+        ):
             return None
         self.fired = True
         flat = output if output.ndim == 2 else output.reshape(-1, output.shape[-1])
@@ -80,7 +102,9 @@ class ComputationalFaultInjector:
 
     def __enter__(self) -> "ComputationalFaultInjector":
         self.fired = False
-        self._remove = self.engine.hooks.register(self.site.layer_name, self._hook)
+        self._remove = self.engine.hooks.register(
+            self.site.layer_name, self._hook, row_scoped=True
+        )
         return self
 
     def __exit__(self, *exc: object) -> None:

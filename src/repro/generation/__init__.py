@@ -1,5 +1,7 @@
-"""Decoding strategies: greedy / beam search / option scoring."""
+"""Decoding strategies: greedy / beam search / option scoring /
+continuous batching."""
 
+from repro.generation.batched import BatchedDecoder, decode_batching_safe
 from repro.generation.decode import (
     GenerationConfig,
     beam_search_decode,
@@ -11,9 +13,11 @@ from repro.generation.decode import (
 )
 
 __all__ = [
+    "BatchedDecoder",
     "GenerationConfig",
     "beam_search_decode",
     "choose_option",
+    "decode_batching_safe",
     "generate_ids",
     "greedy_decode",
     "score_continuation",

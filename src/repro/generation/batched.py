@@ -1,0 +1,491 @@
+"""Continuous-batched generative decoding over a pooled KV cache.
+
+The paper's generative campaigns (GSM8k, WMT16, XLSum, SQuAD v2,
+§3.3.4) decode one sequence at a time; every trial and every baseline
+pays the full per-token Python/dispatch overhead per sequence.
+:class:`BatchedDecoder` amortizes it the way production inference
+engines do:
+
+* **Continuous batching** — up to ``max_batch`` prompts decode
+  together, one :meth:`~repro.inference.engine.InferenceEngine.forward_step_batch`
+  per token for the whole batch; a sequence that hits EOS or its length
+  limit retires immediately and its slot is back-filled from the
+  pending queue, so the batch stays full instead of draining to the
+  slowest sequence.
+* **Pooled KV cache** — sequences decode out of
+  :class:`~repro.inference.kvcache.PooledKVCache` slot rows, so
+  admissions and refills allocate nothing, and beam forks are bounded
+  prefix copies inside the arena instead of fresh full-size caches.
+* **Batched beam search** — the ``k`` beams of one example run as batch
+  rows sharing the prompt prefix via copy-on-fork
+  (:meth:`PooledKVCache.copy_slot`), replacing per-beam
+  ``Session.fork`` deep copies.
+
+**FI-safety gate** (:func:`decode_batching_safe`): batching changes
+tensor shapes only in ways hooks can observe per row, so it stays
+enabled under armed *row-scoped* fault hooks (the one-shot
+computational injectors) — each hook invocation receives one row's
+``(1, features)`` slice and corrupts exactly one sequence.  Unscoped
+hooks (detectors, probes), armed weight faults and activation capture
+force the exact serial reference path, mirroring PR 2's option-scoring
+gate.  ``B == 1`` batched decoding is bit-identical to the serial path
+by construction (same-shaped operations throughout); ``B > 1`` agrees
+up to float associativity and is asserted identical at the
+decoded-token level by the equivalence tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.functional import log_softmax_np
+from repro.generation.decode import GenerationConfig
+from repro.inference.engine import InferenceEngine, Session
+from repro.inference.kvcache import KVCache, PooledKVCache
+from repro.obs.runtime import telemetry as _telemetry
+
+__all__ = ["BatchedDecoder", "decode_batching_safe"]
+
+
+def decode_batching_safe(engine: InferenceEngine) -> bool:
+    """Whether batched decoding preserves exact fault/capture semantics.
+
+    True when nothing is armed, or when every registered hook declared
+    itself row-scoped (one-shot computational injectors): per-row hook
+    application then observes the exact serial tensor shapes and
+    corrupts exactly one sequence.  Weight faults and activation
+    capture always force the serial path — corrupted weights amplify
+    float-associativity differences, and capture records per-sequence
+    tensors.
+    """
+    if engine.capture is not None:
+        return False
+    if engine.weight_fault_depth > 0:
+        return False
+    if len(engine.hooks) == 0:
+        return True
+    return engine.hooks.all_row_scoped()
+
+
+def _pick(logits: np.ndarray) -> int:
+    """NaN-safe argmax, identical to the serial greedy rule."""
+    try:
+        return int(np.nanargmax(logits))
+    except ValueError:  # all-NaN logits
+        return 0
+
+
+def _normalized(tokens: list[int], score: float, length_penalty: float) -> float:
+    length = max(1, len(tokens))
+    return score / length**length_penalty
+
+
+@dataclass
+class _Seq:
+    """One active greedy sequence (a pool slot's occupant)."""
+
+    index: int
+    slot: int | None
+    caches: list[KVCache]
+    position: int
+    iteration: int
+    last_token: int
+    out: list[int] = field(default_factory=list)
+
+
+@dataclass
+class _BeamRow:
+    """One beam hypothesis backed by a pool slot (``None`` once finished)."""
+
+    slot: int | None
+    tokens: list[int]
+    score: float
+    finished: bool
+    logits: np.ndarray | None
+    position: int
+    iteration: int
+
+
+class BatchedDecoder:
+    """Continuous-batching decode scheduler over a pooled KV cache.
+
+    One decoder owns one arena; reuse it across calls (campaigns keep
+    one per run) so admissions never allocate.  All entry points fall
+    back to the exact serial reference path whenever
+    :func:`decode_batching_safe` says batching could change results.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        config: GenerationConfig,
+        max_batch: int = 8,
+        pool: PooledKVCache | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.engine = engine
+        self.config = config
+        self.max_batch = max_batch
+        self._pool = pool
+
+    def _ensure_pool(self, n_slots: int) -> PooledKVCache:
+        if self._pool is None or self._pool.n_slots < n_slots:
+            self._pool = self.engine.new_pool(n_slots)
+        return self._pool
+
+    # -- entry points ----------------------------------------------------------
+
+    def generate_many(
+        self,
+        prompts: list[list[int]],
+        sessions: "list[Session | None] | None" = None,
+    ) -> list[list[int]]:
+        """Decode every prompt with the configured strategy.
+
+        Greedy configs run the continuous-batching scheduler across
+        prompts; beam configs run one batched beam search per prompt
+        (the beams are the batch).  ``sessions`` optionally supplies
+        already-prefilled sessions (consumed) aligned with ``prompts``.
+        """
+        if sessions is None:
+            sessions = [None] * len(prompts)
+        if len(sessions) != len(prompts):
+            raise ValueError("sessions must align with prompts")
+        if self.config.num_beams > 1:
+            return [
+                self.beam_decode(p, session=s) for p, s in zip(prompts, sessions)
+            ]
+        return self.decode_many(prompts, sessions=sessions)
+
+    def decode_one(
+        self, prompt_ids: list[int], session: Session | None = None
+    ) -> list[int]:
+        """Single-sequence greedy decode through the batched machinery."""
+        return self.decode_many([prompt_ids], sessions=[session])[0]
+
+    # -- greedy continuous batching --------------------------------------------
+
+    def decode_many(
+        self,
+        prompts: list[list[int]],
+        sessions: "list[Session | None] | None" = None,
+    ) -> list[list[int]]:
+        """Greedy-decode many prompts with continuous batching.
+
+        Sequences are admitted up to ``max_batch``, stepped as one
+        batched forward per token, retired on EOS/length, and retired
+        slots are immediately back-filled from the pending queue.
+        Per-sequence outputs are identical to serial ``greedy_decode``
+        (bit-identical at ``B == 1``; argmax-identical above).
+        """
+        if sessions is None:
+            sessions = [None] * len(prompts)
+        if len(sessions) != len(prompts):
+            raise ValueError("sessions must align with prompts")
+        if not decode_batching_safe(self.engine):
+            from repro.generation.decode import greedy_decode
+
+            return [
+                greedy_decode(self.engine, p, self.config, session=s,
+                              strategy="serial")
+                for p, s in zip(prompts, sessions)
+            ]
+        tel = _telemetry()
+        if not tel.active:
+            return self._decode_many_impl(prompts, sessions, tel)
+        with tel.span(
+            "decode.batch",
+            prompts=len(prompts),
+            max_batch=self.max_batch,
+        ) as span:
+            results = self._decode_many_impl(prompts, sessions, tel)
+            span.set(new_tokens=sum(len(r) for r in results))
+        return results
+
+    def _decode_many_impl(
+        self, prompts: list[list[int]], sessions: list, tel
+    ) -> list[list[int]]:
+        engine = self.engine
+        eos = self.config.eos_id
+        max_new = self.config.max_new_tokens
+        results: list[list[int]] = [[] for _ in prompts]
+        pending: deque[int] = deque(range(len(prompts)))
+        pool = self._ensure_pool(min(self.max_batch, max(1, len(prompts))))
+        active: list[_Seq] = []
+        traced = tel.active
+
+        def finish(seq: _Seq) -> None:
+            results[seq.index] = seq.out
+            if seq.slot is not None:
+                pool.release(seq.slot)
+
+        def admit(refill: bool) -> None:
+            """Prefill the next pending prompt into a free slot; may
+            retire it immediately (EOS-first or 1-token budgets)."""
+            idx = pending.popleft()
+            session = sessions[idx]
+            if session is not None:
+                seq = _Seq(
+                    index=idx,
+                    slot=None,
+                    caches=session.caches,
+                    position=session.position,
+                    iteration=session.iteration,
+                    last_token=-1,
+                )
+                logits = session.last_logits
+            else:
+                prompt = prompts[idx]
+                if not prompt:
+                    raise ValueError("prompt must contain at least one token")
+                slot = pool.acquire()
+                caches = pool.caches(slot)
+                logits = engine.forward(
+                    prompt, caches, start_pos=0, iteration=0
+                )[-1]
+                seq = _Seq(
+                    index=idx,
+                    slot=slot,
+                    caches=caches,
+                    position=len(prompt),
+                    iteration=0,
+                    last_token=-1,
+                )
+            if traced and refill:
+                tel.metrics.counter("decode.slot_refills").add()
+            token = _pick(logits)
+            if token == eos:
+                finish(seq)
+                return
+            seq.out.append(token)
+            if len(seq.out) >= max_new:
+                finish(seq)
+                return
+            seq.last_token = token
+            active.append(seq)
+
+        def fill(refill: bool) -> None:
+            while pending and len(active) < self.max_batch:
+                admit(refill)
+
+        fill(refill=False)
+        while active:
+            if traced:
+                tel.metrics.histogram("decode.batch_occupancy").observe(
+                    len(active)
+                )
+            logits = engine.forward_step_batch(
+                [seq.last_token for seq in active],
+                [seq.caches for seq in active],
+                [seq.position for seq in active],
+                [seq.iteration + 1 for seq in active],
+            )
+            still: list[_Seq] = []
+            for i, seq in enumerate(active):
+                seq.iteration += 1
+                seq.position += 1
+                token = _pick(logits[i])
+                if token == eos:
+                    finish(seq)
+                    continue
+                seq.out.append(token)
+                if len(seq.out) >= max_new:
+                    # The serial loop would run one final forward whose
+                    # logits are discarded; skip it — fault sites are
+                    # sampled strictly below max_new_tokens, so no
+                    # injection can target the skipped step.
+                    finish(seq)
+                    continue
+                seq.last_token = token
+                still.append(seq)
+            active = still
+            fill(refill=True)
+        return results
+
+    # -- batched beam search ---------------------------------------------------
+
+    def beam_decode(
+        self, prompt_ids: list[int], session: Session | None = None
+    ) -> list[int]:
+        """Beam search with the ``k`` beams as batch rows.
+
+        Mirrors the serial algorithm decision-for-decision (same
+        candidate scores, same sort, same lazy-fork rule) but steps all
+        unfinished beams in one batched forward and forks via bounded
+        prefix copies inside the pool instead of full cache clones.
+        """
+        if not decode_batching_safe(self.engine):
+            from repro.generation.decode import beam_search_decode
+
+            return beam_search_decode(
+                self.engine, prompt_ids, self.config, session=session,
+                strategy="serial",
+            )
+        k = self.config.num_beams
+        pool = self._ensure_pool(max(2 * k, 1))
+        tel = _telemetry()
+        owned: set[int] = set()
+
+        def acquire() -> int:
+            slot = pool.acquire()
+            owned.add(slot)
+            return slot
+
+        def release(slot: int) -> None:
+            owned.discard(slot)
+            pool.release(slot)
+
+        try:
+            return self._beam_decode_impl(
+                prompt_ids, session, k, pool, acquire, release, tel
+            )
+        finally:
+            for slot in list(owned):
+                pool.release(slot)
+
+    def _beam_decode_impl(
+        self, prompt_ids, session, k, pool, acquire, release, tel
+    ) -> list[int]:
+        engine = self.engine
+        config = self.config
+        root_slot = acquire()
+        if session is not None:
+            pool.load(root_slot, session.caches)
+            root = _BeamRow(
+                slot=root_slot,
+                tokens=[],
+                score=0.0,
+                finished=False,
+                logits=session.last_logits,
+                position=session.position,
+                iteration=session.iteration,
+            )
+        else:
+            caches = pool.caches(root_slot)
+            logits = engine.forward(
+                prompt_ids, caches, start_pos=0, iteration=0
+            )[-1]
+            root = _BeamRow(
+                slot=root_slot,
+                tokens=[],
+                score=0.0,
+                finished=False,
+                logits=logits,
+                position=len(prompt_ids),
+                iteration=0,
+            )
+        prompt_len = root.position
+        beams = [root]
+        for _ in range(config.max_new_tokens):
+            if all(b.finished for b in beams):
+                break
+            candidates: list[tuple[float, _BeamRow, int, float]] = []
+            for beam in beams:
+                if beam.finished:
+                    candidates.append(
+                        (
+                            _normalized(
+                                beam.tokens, beam.score, config.length_penalty
+                            ),
+                            beam,
+                            -1,
+                            beam.score,
+                        )
+                    )
+                    continue
+                logp = log_softmax_np(
+                    np.nan_to_num(
+                        beam.logits, nan=-1e9, posinf=1e9, neginf=-1e9
+                    )
+                )
+                top = np.argpartition(logp, -k)[-k:]
+                for token in top:
+                    score = beam.score + float(logp[token])
+                    length = max(1, len(beam.tokens) + 1)
+                    candidates.append(
+                        (score / length**config.length_penalty, beam,
+                         int(token), score)
+                    )
+            candidates.sort(key=lambda c: c[0], reverse=True)
+            next_beams: list[_BeamRow] = []
+            reused: set[int] = set()
+            for _norm, beam, token, raw_score in candidates:
+                if len(next_beams) == k:
+                    break
+                if token == -1:
+                    next_beams.append(beam)
+                    continue
+                if token == config.eos_id:
+                    # EOS terminates, not emitted — finished beams never
+                    # step again, so they drop their cache row.
+                    next_beams.append(
+                        _BeamRow(
+                            slot=None,
+                            tokens=beam.tokens,
+                            score=raw_score,
+                            finished=True,
+                            logits=None,
+                            position=beam.position,
+                            iteration=beam.iteration,
+                        )
+                    )
+                    continue
+                # Copy-on-fork: the first stepping extension of a beam
+                # inherits its slot; later ones copy the filled prefix
+                # into a fresh slot (bounded copy, no allocation).
+                if id(beam) not in reused:
+                    reused.add(id(beam))
+                    slot = beam.slot
+                else:
+                    slot = acquire()
+                    pool.copy_slot(beam.slot, slot)
+                next_beams.append(
+                    _BeamRow(
+                        slot=slot,
+                        tokens=[*beam.tokens, token],
+                        score=raw_score,
+                        finished=False,
+                        logits=None,
+                        position=beam.position,
+                        iteration=beam.iteration,
+                    )
+                )
+            # Release slots of beams that no surviving hypothesis kept.
+            kept = {b.slot for b in next_beams if b.slot is not None}
+            for beam in beams:
+                if beam.slot is not None and beam.slot not in kept:
+                    release(beam.slot)
+            beams = next_beams
+            # One batched forward advances every beam that gained a
+            # token (the serial loop steps them one session at a time).
+            step_rows = [
+                b
+                for b in beams
+                if not b.finished
+                and b.tokens
+                and b.position == prompt_len + len(b.tokens) - 1
+            ]
+            if step_rows:
+                if tel.active:
+                    tel.metrics.histogram("decode.batch_occupancy").observe(
+                        len(step_rows)
+                    )
+                logits = engine.forward_step_batch(
+                    [b.tokens[-1] for b in step_rows],
+                    [pool.caches(b.slot) for b in step_rows],
+                    [b.position for b in step_rows],
+                    [b.iteration + 1 for b in step_rows],
+                )
+                for i, b in enumerate(step_rows):
+                    b.logits = logits[i]
+                    b.position += 1
+                    b.iteration += 1
+        best = max(
+            beams,
+            key=lambda b: _normalized(b.tokens, b.score, config.length_penalty),
+        )
+        return best.tokens

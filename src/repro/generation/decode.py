@@ -50,18 +50,48 @@ class GenerationConfig:
             raise ValueError("num_beams must be >= 1")
 
 
+def _resolve_decode_strategy(engine: InferenceEngine, strategy: str) -> str:
+    """Map ``auto`` to the fastest decode path that cannot change results.
+
+    ``auto`` routes through the batched decoder (single decode code
+    path, pooled caches) whenever batching is FI-safe — nothing armed,
+    or only row-scoped fault hooks — and falls back to the serial
+    reference loop otherwise, mirroring the option-scoring gate.
+    """
+    if strategy == "auto":
+        from repro.generation.batched import decode_batching_safe
+
+        return "batched" if decode_batching_safe(engine) else "serial"
+    if strategy not in ("serial", "batched"):
+        raise ValueError(f"unknown decode strategy {strategy!r}")
+    return strategy
+
+
 def greedy_decode(
     engine: InferenceEngine,
     prompt_ids: list[int],
     config: GenerationConfig,
     session: Session | None = None,
+    strategy: str = "auto",
 ) -> list[int]:
     """Argmax decoding; returns generated ids (without the prompt/EOS).
 
     ``session`` optionally supplies an already-prefilled session for
     ``prompt_ids`` (e.g. a clone of a cached fault-free prefill); it is
     consumed — the caller must not reuse it afterwards.
+
+    ``strategy`` selects the implementation: ``serial`` is the original
+    per-token reference loop below; ``batched`` runs the same decode as
+    a width-1 batch through :class:`~repro.generation.batched.BatchedDecoder`
+    (bit-identical by construction); ``auto`` picks ``batched`` unless
+    fault machinery demands the serial path.
     """
+    if _resolve_decode_strategy(engine, strategy) == "batched":
+        from repro.generation.batched import BatchedDecoder
+
+        return BatchedDecoder(engine, config, max_batch=1).decode_one(
+            prompt_ids, session=session
+        )
     if session is None:
         session = engine.start_session(prompt_ids)
     out: list[int] = []
@@ -99,16 +129,32 @@ def beam_search_decode(
     prompt_ids: list[int],
     config: GenerationConfig,
     session: Session | None = None,
+    strategy: str = "auto",
 ) -> list[int]:
     """Standard beam search with length normalization.
 
     ``session`` optionally supplies a pre-built prefill for
     ``prompt_ids`` (consumed, like :func:`greedy_decode`).
+
+    ``strategy='batched'`` (the ``auto`` default when FI-safe) runs the
+    ``k`` beams as batch rows over a pooled KV cache — one batched
+    forward per round, copy-on-fork instead of per-beam cache clones;
+    ``serial`` is the per-session reference loop below.
     """
+    if _resolve_decode_strategy(engine, strategy) == "batched":
+        from repro.generation.batched import BatchedDecoder
+
+        return BatchedDecoder(engine, config).beam_decode(
+            prompt_ids, session=session
+        )
     k = config.num_beams
     root = session if session is not None else engine.start_session(prompt_ids)
     beams = [_Beam(root, [], 0.0, False)]
     for _ in range(config.max_new_tokens):
+        # Stop as soon as every hypothesis is finished — later rounds
+        # would only re-rank the same finished candidates.
+        if all(b.finished for b in beams):
+            break
         candidates: list[tuple[float, _Beam, int, float]] = []
         for beam in beams:
             if beam.finished:
@@ -156,8 +202,6 @@ def beam_search_decode(
             if not beam.finished and beam.tokens:
                 if beam.session.position == len(prompt_ids) + len(beam.tokens) - 1:
                     beam.session.step(beam.tokens[-1])
-        if all(b.finished for b in beams):
-            break
     best = max(beams, key=lambda b: b.normalized(config.length_penalty))
     return best.tokens
 
@@ -167,25 +211,31 @@ def generate_ids(
     prompt_ids: list[int],
     config: GenerationConfig,
     session: Session | None = None,
+    strategy: str = "auto",
 ) -> list[int]:
     """Dispatch to greedy or beam decoding based on ``num_beams``.
 
     ``session``, when given, must be a prefilled session for
     ``prompt_ids`` (it is consumed); campaigns pass clones of a cached
     fault-free prefill here to skip redundant prompt forwards.
+    ``strategy`` is forwarded to the decoder (``auto``/``batched``/
+    ``serial``, see :func:`greedy_decode`).
     """
     decode = greedy_decode if config.num_beams == 1 else beam_search_decode
     tel = _telemetry()
     if not tel.active:
-        return decode(engine, prompt_ids, config, session=session)
+        return decode(engine, prompt_ids, config, session=session,
+                      strategy=strategy)
     t0 = time.perf_counter()
     with tel.span(
         "decode.generate",
         num_beams=config.num_beams,
         prompt_tokens=len(prompt_ids),
         prefilled=session is not None,
+        strategy=strategy,
     ) as span:
-        out = decode(engine, prompt_ids, config, session=session)
+        out = decode(engine, prompt_ids, config, session=session,
+                     strategy=strategy)
         span.set(new_tokens=len(out))
     elapsed_ms = (time.perf_counter() - t0) * 1e3
     metrics = tel.metrics

@@ -2,7 +2,7 @@
 
 from repro.inference.engine import CaptureState, InferenceEngine, Session
 from repro.inference.hooks import HookContext, HookFn, HookManager
-from repro.inference.kvcache import KVCache
+from repro.inference.kvcache import KVCache, PooledKVCache
 from repro.inference.storage import (
     FloatWeightStore,
     QuantizedWeightStore,
@@ -19,6 +19,7 @@ __all__ = [
     "HookManager",
     "InferenceEngine",
     "KVCache",
+    "PooledKVCache",
     "QuantizedWeightStore",
     "RestoreToken",
     "Session",

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.autograd.functional import rms_norm_np, silu_np, softmax_np
 from repro.inference.hooks import HookContext, HookManager
-from repro.inference.kvcache import KVCache
+from repro.inference.kvcache import KVCache, PooledKVCache
 from repro.inference.storage import WeightStore, make_weight_store
 from repro.model.config import ModelConfig
 from repro.model.params import ParamStore
@@ -147,14 +147,44 @@ class InferenceEngine:
         return (x.reshape(-1, x.shape[-1]) @ w).reshape(*lead, w.shape[1])
 
     def _emit(
-        self, output: np.ndarray, block: int, layer: str, iteration: int
+        self,
+        output: np.ndarray,
+        block: int,
+        layer: str,
+        iteration,
+        rows: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Capture + hook a layer output."""
+        """Capture + hook a layer output.
+
+        ``rows`` is ``None`` for every single-sequence forward.  Under
+        the batched decode step it carries the batch-row index of each
+        leading-axis slice of ``output`` (and ``iteration`` is the
+        aligned per-row iteration array): hooks then run once per row
+        on that row's ``(1, features)`` view — the exact serial shape —
+        with :attr:`HookContext.batch_row` identifying the sequence, so
+        a row-scoped fault strikes exactly one sequence of the batch.
+        """
         full = f"blocks.{block}.{layer}"
         if self.hooks.has(full):
-            output = self.hooks.apply(
-                output, HookContext(block, layer, iteration, full)
-            )
+            if rows is None:
+                output = self.hooks.apply(
+                    output, HookContext(block, layer, iteration, full)
+                )
+            else:
+                for i, row in enumerate(rows):
+                    view = output[i : i + 1]
+                    result = self.hooks.apply(
+                        view,
+                        HookContext(
+                            block,
+                            layer,
+                            int(iteration[i]),
+                            full,
+                            batch_row=int(row),
+                        ),
+                    )
+                    if result is not view:
+                        output[i : i + 1] = result
         if self.capture is not None:
             # Captured after hooks so propagation traces see injected
             # computational faults in the injected layer's own output.
@@ -233,7 +263,12 @@ class InferenceEngine:
         )
 
     def _mlp(
-        self, h: np.ndarray, block: int, iteration: int, expert: int | None = None
+        self,
+        h: np.ndarray,
+        block: int,
+        iteration,
+        expert: int | None = None,
+        rows: np.ndarray | None = None,
     ) -> np.ndarray:
         prefix = f"blocks.{block}."
         tag = "" if expert is None else f"experts.{expert}."
@@ -242,12 +277,14 @@ class InferenceEngine:
             block,
             tag + "gate_proj",
             iteration,
+            rows,
         )
         up = self._emit(
             self._linear(h, prefix + tag + "up_proj"),
             block,
             tag + "up_proj",
             iteration,
+            rows,
         )
         out = silu_np(gate) * up
         return self._emit(
@@ -255,9 +292,16 @@ class InferenceEngine:
             block,
             tag + "down_proj",
             iteration,
+            rows,
         )
 
-    def _moe(self, h: np.ndarray, block: int, iteration: int) -> np.ndarray:
+    def _moe(
+        self,
+        h: np.ndarray,
+        block: int,
+        iteration,
+        rows: np.ndarray | None = None,
+    ) -> np.ndarray:
         cfg = self.config
         if h.ndim == 3:
             # Expert routing is token-wise, so the batched path flattens
@@ -269,7 +313,7 @@ class InferenceEngine:
             )
         prefix = f"blocks.{block}."
         router_logits = self._emit(
-            h @ self._w(prefix + "router"), block, "router", iteration
+            h @ self._w(prefix + "router"), block, "router", iteration, rows
         )
         t = h.shape[0]
         k = cfg.top_k
@@ -287,12 +331,18 @@ class InferenceEngine:
         out = np.zeros_like(h)
         for e in range(cfg.n_experts):
             slot_mask = top == e  # (t, k)
-            rows = np.nonzero(slot_mask.any(axis=-1))[0]
-            if rows.size == 0:
+            sel = np.nonzero(slot_mask.any(axis=-1))[0]
+            if sel.size == 0:
                 continue
-            expert_out = self._mlp(h[rows], block, iteration, expert=e)
-            weight = (gates[rows] * slot_mask[rows]).sum(axis=-1, keepdims=True)
-            out[rows] += expert_out * weight
+            expert_out = self._mlp(
+                h[sel],
+                block,
+                iteration if rows is None else iteration[sel],
+                expert=e,
+                rows=None if rows is None else rows[sel],
+            )
+            weight = (gates[sel] * slot_mask[sel]).sum(axis=-1, keepdims=True)
+            out[sel] += expert_out * weight
         return out
 
     def forward(
@@ -379,12 +429,154 @@ class InferenceEngine:
         head = self._plain["lm_head.weight"]
         return (x.reshape(-1, x.shape[-1]) @ head).reshape(*x.shape[:-1], -1)
 
+    def forward_step_batch(
+        self,
+        tokens: np.ndarray | list[int],
+        row_caches: list[list[KVCache]],
+        positions: np.ndarray | list[int],
+        iterations: np.ndarray | list[int],
+    ) -> np.ndarray:
+        """One single-token decode step for ``B`` independent sequences.
+
+        Unlike the shared-prefix batched :meth:`forward`, every batch
+        row here owns its caches (``row_caches[i]`` is that row's
+        per-block list — typically :class:`PooledKVCache` slot views)
+        and its K/V **is appended**; per-row positions and iteration
+        counts may be ragged, which is what continuous batching needs.
+        The linear layers run as single flattened ``(B, D)`` GEMMs while
+        the attention core runs per row against that row's own cache —
+        for ``B == 1`` every operation matches the serial
+        ``Session.step`` path shape-for-shape, so results are
+        bit-identical and fault hooks observe identical tensors.
+
+        Hooks are applied per row (see :meth:`_emit`); activation
+        capture is not supported on this path — use the serial forward.
+        Returns logits of shape ``(B, vocab)``.
+        """
+        ids = np.asarray(tokens, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ValueError(f"tokens must be a 1-D batch of ids, got {ids.shape}")
+        if self.capture is not None:
+            raise RuntimeError(
+                "forward_step_batch does not support activation capture;"
+                " use the serial per-sequence path"
+            )
+        if len(row_caches) != ids.shape[0]:
+            raise ValueError(
+                f"{ids.shape[0]} tokens but {len(row_caches)} cache rows"
+            )
+        pos = np.asarray(positions, dtype=np.int64)
+        its = np.asarray(iterations, dtype=np.int64)
+        tel = _telemetry()
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            if not tel.active:
+                return self._step_batch_impl(ids, row_caches, pos, its)
+            t0 = time.perf_counter()
+            out = self._step_batch_impl(ids, row_caches, pos, its)
+            metrics = tel.metrics
+            metrics.histogram("engine.forward_ms").observe(
+                (time.perf_counter() - t0) * 1e3
+            )
+            metrics.counter("engine.forward_calls").add()
+            metrics.counter("engine.tokens").add(ids.size)
+            return out
+
+    def _step_batch_impl(
+        self,
+        ids: np.ndarray,
+        row_caches: list[list[KVCache]],
+        positions: np.ndarray,
+        iterations: np.ndarray,
+    ) -> np.ndarray:
+        cfg = self.config
+        rows = np.arange(ids.shape[0])
+        x = self._plain["embed.weight"][ids]  # (B, D)
+        cos = self._cos[positions][:, None, :]  # (B, 1, hd)
+        sin = self._sin[positions][:, None, :]
+        for b in range(cfg.n_blocks):
+            prefix = f"blocks.{b}."
+            h = rms_norm_np(
+                x, self._plain[prefix + "attn_norm.weight"], cfg.norm_eps
+            )
+            x = x + self._attention_step(
+                h, b, row_caches, cos, sin, iterations, rows
+            )
+            h = rms_norm_np(x, self._plain[prefix + "mlp_norm.weight"], cfg.norm_eps)
+            if cfg.is_moe:
+                x = x + self._moe(h, b, iterations, rows=rows)
+            else:
+                x = x + self._mlp(h, b, iterations, rows=rows)
+        x = rms_norm_np(x, self._plain["final_norm.weight"], cfg.norm_eps)
+        return x @ self._plain["lm_head.weight"]
+
+    def _attention_step(
+        self,
+        x: np.ndarray,
+        block: int,
+        row_caches: list[list[KVCache]],
+        cos: np.ndarray,
+        sin: np.ndarray,
+        iterations: np.ndarray,
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        """Attention for one batched decode step: shared projections,
+        per-row cache append + score/softmax/context (rows are ragged —
+        each attends to its own cache's filled prefix plus itself)."""
+        cfg = self.config
+        prefix = f"blocks.{block}."
+        heads, hd = cfg.n_heads, cfg.head_dim
+        batch = x.shape[0]
+
+        q = self._emit(
+            self._linear(x, prefix + "q_proj"), block, "q_proj", iterations, rows
+        )
+        k = self._emit(
+            self._linear(x, prefix + "k_proj"), block, "k_proj", iterations, rows
+        )
+        v = self._emit(
+            self._linear(x, prefix + "v_proj"), block, "v_proj", iterations, rows
+        )
+        q = q.reshape(batch, heads, hd)
+        k = k.reshape(batch, heads, hd)
+        v = v.reshape(batch, heads, hd)
+        half = hd // 2
+
+        def rot(a: np.ndarray) -> np.ndarray:
+            rotated = np.concatenate([-a[..., half:], a[..., :half]], axis=-1)
+            return a * cos + rotated * sin
+
+        q, k = rot(q), rot(k)
+        scale = np.float32(hd**-0.5)
+        ctx = np.empty((batch, cfg.d_model), dtype=np.float32)
+        for i in range(batch):
+            cache = row_caches[i][block]
+            cache.append(k[i][:, None, :], v[i][:, None, :])
+            keys, values = cache.keys(), cache.values()
+            scores = (q[i][:, None, :] @ keys.swapaxes(-1, -2)) * scale
+            attn = softmax_np(scores, axis=-1)
+            ctx[i] = (attn @ values).transpose(1, 0, 2).reshape(cfg.d_model)
+        return self._emit(
+            self._linear(ctx, prefix + "out_proj"),
+            block,
+            "out_proj",
+            iterations,
+            rows,
+        )
+
     def new_caches(self) -> list[KVCache]:
         cfg = self.config
         return [
             KVCache(cfg.n_heads, cfg.max_seq, cfg.head_dim)
             for _ in range(cfg.n_blocks)
         ]
+
+    def new_pool(self, n_slots: int) -> PooledKVCache:
+        """A block-allocated KV arena sized for this model (one slot per
+        concurrently decoding sequence)."""
+        cfg = self.config
+        return PooledKVCache(
+            cfg.n_blocks, n_slots, cfg.n_heads, cfg.max_seq, cfg.head_dim
+        )
 
     def forward_full(self, tokens: np.ndarray | list[int]) -> np.ndarray:
         """Single full-sequence forward (option scoring / prefill-only).

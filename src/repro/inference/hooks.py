@@ -32,12 +32,22 @@ class HookContext:
     scored option/hypothesis; batched forwards are only taken when
     ``InferenceEngine.fi_active()`` is false, so fault-injection hooks
     never observe batched tensors unless registered mid-flight.
+
+    Under the engine's *batched decode step*
+    (:meth:`InferenceEngine.forward_step_batch`) hooks are instead
+    applied once per batch row, each invocation receiving that row's
+    ``(1, features)`` slice — exactly the serial single-token shape —
+    with ``batch_row`` set to the row index and ``iteration`` to the
+    row's own generation-iteration count.  ``batch_row`` is ``None`` on
+    every unbatched forward, so a hook that targets one sequence of a
+    batch can filter on it (the continuous-batching FI gate).
     """
 
     block: int
     layer: str
     iteration: int
     full_name: str
+    batch_row: int | None = None
 
 
 HookFn = Callable[[np.ndarray, HookContext], "np.ndarray | None"]
@@ -48,22 +58,46 @@ class HookManager:
 
     def __init__(self) -> None:
         self._hooks: dict[str, list[HookFn]] = {}
+        self._unscoped = 0
 
-    def register(self, layer_name: str, fn: HookFn) -> Callable[[], None]:
-        """Attach ``fn`` to a layer; returns a detach handle."""
+    def register(
+        self, layer_name: str, fn: HookFn, row_scoped: bool = False
+    ) -> Callable[[], None]:
+        """Attach ``fn`` to a layer; returns a detach handle.
+
+        ``row_scoped=True`` declares that the hook confines its effect
+        to the single tensor slice it is handed — per-row application
+        under a batched decode step then perturbs exactly one sequence.
+        Batched decoding stays enabled under armed fault machinery only
+        while *every* registered hook makes this promise
+        (:meth:`all_row_scoped`); an unscoped hook forces the serial
+        fallback.
+        """
         self._hooks.setdefault(layer_name, []).append(fn)
+        if not row_scoped:
+            self._unscoped += 1
+        removed = False
 
         def remove() -> None:
+            nonlocal removed
             callbacks = self._hooks.get(layer_name, [])
             if fn in callbacks:
                 callbacks.remove(fn)
                 if not callbacks:
                     del self._hooks[layer_name]
+                if not row_scoped and not removed:
+                    self._unscoped -= 1
+                removed = True
 
         return remove
 
     def clear(self) -> None:
         self._hooks.clear()
+        self._unscoped = 0
+
+    def all_row_scoped(self) -> bool:
+        """True when every registered hook declared row-scoped effects."""
+        return self._unscoped == 0
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._hooks.values())

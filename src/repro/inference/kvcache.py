@@ -1,10 +1,21 @@
-"""Per-block key/value cache for incremental decoding."""
+"""Per-block key/value caches for incremental decoding.
+
+:class:`KVCache` is the single-sequence building block: one
+pre-allocated ``(n_heads, max_seq, head_dim)`` buffer pair per
+transformer block.  :class:`PooledKVCache` scales it to continuous
+batching: one block-allocated arena per layer holds the K/V of many
+concurrent sequences as slot rows, and hands out zero-copy
+:class:`KVCache`-compatible views — so admitting, retiring and
+re-admitting sequences never allocates, and forking a beam is a
+bounded prefix copy inside the arena instead of a fresh full-size
+allocation.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["KVCache"]
+__all__ = ["KVCache", "PooledKVCache"]
 
 
 class KVCache:
@@ -79,3 +90,99 @@ class KVCache:
         out.v[:, : self.length] = self.values()
         out.length = self.length
         return out
+
+
+class _SlotView(KVCache):
+    """:class:`KVCache` interface over one slot row of a pooled arena.
+
+    ``k``/``v`` are ``(n_heads, max_seq, head_dim)`` views into the
+    owning :class:`PooledKVCache`'s arena, so every append/truncate
+    writes the shared storage in place; only ``length`` is per-view
+    state.  All inherited methods work unchanged.
+    """
+
+    def __init__(self, k: np.ndarray, v: np.ndarray) -> None:
+        self.k = k
+        self.v = v
+        self.length = 0
+
+
+class PooledKVCache:
+    """Block-allocated K/V arena shared by up to ``n_slots`` sequences.
+
+    Layout is one ``(n_slots, n_heads, max_seq, head_dim)`` array pair
+    per transformer block.  A sequence acquires a slot, receives the
+    per-block row views for it (each a :class:`KVCache`-compatible
+    object backed by arena memory), decodes, and releases the slot for
+    the next pending sequence — the continuous-batching scheduler's
+    refills therefore cost zero allocations.  Stale K/V beyond a view's
+    ``length`` is never read (attention consumes ``keys()``/``values()``
+    prefixes only), so slots are handed out without clearing.
+    """
+
+    def __init__(
+        self, n_layers: int, n_slots: int, n_heads: int, max_seq: int, head_dim: int
+    ) -> None:
+        if n_slots < 1:
+            raise ValueError("pool needs at least one slot")
+        self.n_slots = n_slots
+        self._k = [
+            np.zeros((n_slots, n_heads, max_seq, head_dim), dtype=np.float32)
+            for _ in range(n_layers)
+        ]
+        self._v = [
+            np.zeros((n_slots, n_heads, max_seq, head_dim), dtype=np.float32)
+            for _ in range(n_layers)
+        ]
+        self._views = [
+            [_SlotView(self._k[layer][slot], self._v[layer][slot])
+             for layer in range(n_layers)]
+            for slot in range(n_slots)
+        ]
+        # Stack of free slot ids; reversed so slot 0 is acquired first
+        # (deterministic admission order for the scheduler).
+        self._free = list(range(n_slots - 1, -1, -1))
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    def acquire(self) -> int:
+        """Claim a free slot (views reset to empty); raises when full."""
+        if not self._free:
+            raise ValueError(f"KV pool exhausted: all {self.n_slots} slots in use")
+        slot = self._free.pop()
+        for view in self._views[slot]:
+            view.length = 0
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list."""
+        if slot in self._free:
+            raise ValueError(f"slot {slot} is already free")
+        if not 0 <= slot < self.n_slots:
+            raise ValueError(f"slot {slot} out of range")
+        self._free.append(slot)
+
+    def caches(self, slot: int) -> list[KVCache]:
+        """Per-block cache views for ``slot`` (zero-copy, arena-backed)."""
+        return list(self._views[slot])
+
+    def copy_slot(self, src: int, dst: int) -> None:
+        """Snapshot-style copy-on-fork: copy ``src``'s filled prefix into
+        ``dst``.  Only ``length`` rows move — the bounded-prefix analogue
+        of :meth:`KVCache.snapshot`/``restore`` inside the arena, and the
+        replacement for per-beam full-cache clones."""
+        for layer, (k, v) in enumerate(zip(self._k, self._v)):
+            length = self._views[src][layer].length
+            k[dst, :, :length] = k[src, :, :length]
+            v[dst, :, :length] = v[src, :, :length]
+            self._views[dst][layer].length = length
+
+    def load(self, slot: int, caches: list[KVCache]) -> None:
+        """Copy external per-block caches (e.g. an adopted prefilled
+        session's) into ``slot``."""
+        for layer, cache in enumerate(caches):
+            self._k[layer][slot, :, : cache.length] = cache.keys()
+            self._v[layer][slot, :, : cache.length] = cache.values()
+            self._views[slot][layer].length = cache.length

@@ -168,6 +168,42 @@ class TestSessionMachinery:
         with pytest.raises(ValueError):
             cache.restore(big)
 
+    def test_kvcache_restore_after_truncate_below_snapshot(self):
+        """``restore`` rewrites the prefix even after a deeper truncate."""
+        rng = np.random.default_rng(4)
+        cache = KVCache(2, 8, 4)
+        cache.append(rng.normal(size=(2, 4, 4)), rng.normal(size=(2, 4, 4)))
+        snap = cache.snapshot()
+        cache.truncate(1)
+        # Overwrite the region the snapshot must bring back.
+        cache.append(rng.normal(size=(2, 2, 4)), rng.normal(size=(2, 2, 4)))
+        cache.restore(snap)
+        assert cache.length == 4
+        np.testing.assert_array_equal(cache.keys(), snap[0])
+        np.testing.assert_array_equal(cache.values(), snap[1])
+
+    def test_kvcache_restore_shrinks_longer_cache(self):
+        """Restoring onto a longer cache rolls length back to the snapshot."""
+        rng = np.random.default_rng(5)
+        cache = KVCache(2, 8, 4)
+        cache.append(rng.normal(size=(2, 2, 4)), rng.normal(size=(2, 2, 4)))
+        snap = cache.snapshot()
+        cache.append(rng.normal(size=(2, 5, 4)), rng.normal(size=(2, 5, 4)))
+        assert cache.length == 7
+        cache.restore(snap)
+        assert cache.length == 2
+        np.testing.assert_array_equal(cache.keys(), snap[0])
+
+    def test_kvcache_truncate_bounds(self):
+        cache = KVCache(1, 4, 2)
+        cache.append(np.ones((1, 3, 2)), np.ones((1, 3, 2)))
+        with pytest.raises(ValueError):
+            cache.truncate(4)
+        with pytest.raises(ValueError):
+            cache.truncate(-1)
+        cache.truncate(0)
+        assert cache.length == 0
+
     def test_truncate_then_rescore_is_clean(self, untrained_engine):
         """Append + truncate (incremental scoring) leaves no residue."""
         session = untrained_engine.start_session(PROMPT)
