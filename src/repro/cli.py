@@ -10,7 +10,11 @@ Commands
     Fault-free evaluation of one model on one task.
 ``campaign MODEL TASK FAULT [--trials N ...]``
     One statistical fault-injection campaign; prints normalized
-    performance with 95% CIs and the SDC breakdown.
+    performance with 95% CIs and the SDC breakdown.  Durable execution
+    via ``--checkpoint PATH`` (trial-granular JSONL journal),
+    ``--resume`` (skip already-journalled trials; bit-identical to an
+    uninterrupted run), ``--trial-timeout SECONDS`` and ``--retries N``
+    (crashing trials retry, then quarantine as ``FAILED``).
 ``experiment ID [...]``
     Reproduce one paper table/figure (e.g. ``fig17``, ``table2``).
 ``obs report RUN.jsonl``
@@ -108,6 +112,30 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument(
         "--workers", type=int, default=0, help="process-pool size (0 = serial)"
+    )
+    campaign.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="journal completed trials to this JSONL file",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted campaign from --checkpoint",
+    )
+    campaign.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon (and retry) any trial exceeding this wall clock",
+    )
+    campaign.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retries before a crashing trial is quarantined as FAILED",
     )
     _add_obs_flags(campaign)
 
@@ -234,19 +262,25 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         generation=ctx.generation(task, num_beams=args.beams),
     )
-    result = campaign.run(args.trials, n_workers=args.workers)
-    print(f"model={args.model} task={args.task} fault={args.fault}"
-          f" policy={args.policy} trials={args.trials}")
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    result = campaign.run(
+        args.trials,
+        n_workers=args.workers,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        trial_timeout=args.trial_timeout,
+        max_retries=args.retries,
+    )
+    from repro.harness.results import format_campaign
     from repro.obs import telemetry
 
     tel = telemetry()
+    print(f"model={args.model} policy={args.policy}")
+    print(format_campaign(result))
     for metric in result.baseline:
         ci = result.normalized[metric]
-        print(
-            f"{metric:12s} baseline {result.baseline[metric]:8.3f}"
-            f"  faulty {result.faulty[metric]:8.3f}"
-            f"  normalized {ci.ratio:.4f} [{ci.lower:.4f}, {ci.upper:.4f}]"
-        )
         tel.record(
             "campaign_metric",
             metric=metric,
@@ -257,9 +291,6 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             ci_high=ci.upper,
         )
     breakdown = result.sdc_breakdown()
-    print(f"sdc rate {result.sdc_rate:.3f}"
-          f" (subtle {breakdown['subtle']:.3f},"
-          f" distorted {breakdown['distorted']:.3f})")
     tel.record(
         "campaign_summary",
         model=args.model,
@@ -268,6 +299,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         policy=args.policy,
         trials=result.n_trials,
         sdc_rate=result.sdc_rate,
+        quarantined=result.quarantined,
         **breakdown,
     )
     return 0

@@ -7,7 +7,26 @@ from repro.fi.analysis import (
     by_layer_type,
     most_vulnerable,
 )
-from repro.fi.campaign import CampaignResult, FICampaign, TrialRecord
+from repro.fi.campaign import (
+    CampaignChaos,
+    CampaignResult,
+    ChaosError,
+    FICampaign,
+    TrialRecord,
+    TrialTimeoutError,
+)
+from repro.fi.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointError,
+    load_checkpoint,
+)
+from repro.fi.differential import (
+    assert_records_equal,
+    assert_results_equal,
+    assert_sequences_equal,
+    record_signature,
+    result_signatures,
+)
 from repro.fi.fault_models import FaultModel
 from repro.fi.injector import (
     ComputationalFaultInjector,
@@ -25,8 +44,19 @@ from repro.fi.propagation import PropagationTrace, trace_fault
 from repro.fi.sites import FaultSite, LayerFilter, sample_site
 
 __all__ = [
+    "CampaignChaos",
+    "CampaignCheckpoint",
     "CampaignResult",
+    "ChaosError",
+    "CheckpointError",
     "GroupVulnerability",
+    "TrialTimeoutError",
+    "assert_records_equal",
+    "assert_results_equal",
+    "assert_sequences_equal",
+    "load_checkpoint",
+    "record_signature",
+    "result_signatures",
     "by_bit_role",
     "by_block",
     "by_layer_type",

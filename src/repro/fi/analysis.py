@@ -16,6 +16,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.fi.campaign import CampaignResult, TrialRecord
+from repro.fi.outcomes import Outcome
 from repro.numerics.stats import wilson_interval
 
 __all__ = [
@@ -52,6 +53,10 @@ def _aggregate(
 ) -> list[GroupVulnerability]:
     counts: dict[str, list[int]] = defaultdict(lambda: [0, 0])
     for trial in trials:
+        if trial.outcome is Outcome.FAILED:
+            # Quarantined trials produced no model output — they carry
+            # no masked-vs-SDC information, so AVF estimates skip them.
+            continue
         bucket = counts[key_fn(trial)]
         bucket[0] += 1
         bucket[1] += int(trial.outcome.is_sdc)

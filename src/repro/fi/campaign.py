@@ -7,20 +7,49 @@ uniformly sampled site — and aggregates normalized performance with
 log-transform 95% confidence intervals, SDC breakdowns and
 bit-position vulnerability profiles.
 
-Trials are seeded individually (``default_rng([seed, trial])``) so a
-campaign is bit-reproducible and embarrassingly parallel: the optional
-process pool partitions trials without changing any sampled site.
+Every trial derives its RNG from a *stable trial key* — a hash of
+``(example identity, trial index, fault model)`` — never from
+enumeration order, so a campaign is bit-reproducible, embarrassingly
+parallel, and restartable: the optional process pool partitions trials
+without changing any sampled site, and a resumed run replays exactly
+the sites an uninterrupted run would have drawn.
+
+The runner itself is fault-tolerant (the execution layer must survive
+the same paper-scale campaigns it measures):
+
+* ``checkpoint=`` journals each completed trial to a crash-durable
+  JSONL file (:mod:`repro.fi.checkpoint`); :meth:`FICampaign.resume`
+  skips already-recorded trial keys and reproduces the same aggregate
+  results as one uninterrupted run;
+* trials that raise are retried with exponential backoff
+  (``max_retries``) and quarantined as :attr:`Outcome.FAILED` records
+  when they fail deterministically — the campaign completes instead of
+  crashing;
+* worker death (``BrokenProcessPool``) rebuilds the pool and re-runs
+  the unfinished trials; ``trial_timeout`` bounds each trial (a stuck
+  worker is abandoned with its pool); after ``max_pool_rebuilds``
+  replacements the campaign degrades gracefully to serial execution.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import signal
+import threading
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro.fi.checkpoint import CampaignCheckpoint
 from repro.fi.fault_models import FaultModel
 from repro.fi.injector import inject
 from repro.fi.outcomes import Outcome, classify_direct_answer, classify_generative
@@ -42,7 +71,14 @@ from repro.tasks.base import GenExample, MCExample
 from repro.tasks.math_task import extract_final_answer
 from repro.text.tokenizer import Tokenizer
 
-__all__ = ["TrialRecord", "CampaignResult", "FICampaign"]
+__all__ = [
+    "TrialRecord",
+    "CampaignResult",
+    "CampaignChaos",
+    "ChaosError",
+    "TrialTimeoutError",
+    "FICampaign",
+]
 
 
 @dataclass(frozen=True)
@@ -57,11 +93,19 @@ class TrialRecord:
     changed: bool = False
     selection_changed: bool | None = None
     """For MoE gate studies: did the expert routing change?"""
+    error: str | None = field(default=None, hash=False, compare=False)
+    """For quarantined (``FAILED``) trials: the final attempt's error."""
 
 
 @dataclass
 class CampaignResult:
-    """Aggregated campaign statistics."""
+    """Aggregated campaign statistics.
+
+    Quarantined (``FAILED``) trials appear in :attr:`trials` — the
+    campaign accounts for every requested trial — but are excluded
+    from SDC rates and metric aggregates: they produced no model
+    output to classify.
+    """
 
     task_name: str
     fault_model: FaultModel
@@ -72,15 +116,24 @@ class CampaignResult:
     trials: list[TrialRecord]
 
     @property
+    def quarantined(self) -> int:
+        """Trials that failed deterministically and were quarantined."""
+        return sum(t.outcome is Outcome.FAILED for t in self.trials)
+
+    def _classified(self) -> list[TrialRecord]:
+        return [t for t in self.trials if t.outcome is not Outcome.FAILED]
+
+    @property
     def sdc_rate(self) -> float:
-        """Fraction of trials whose outcome is an SDC."""
-        if not self.trials:
+        """Fraction of classified trials whose outcome is an SDC."""
+        classified = self._classified()
+        if not classified:
             return 0.0
-        return sum(t.outcome.is_sdc for t in self.trials) / len(self.trials)
+        return sum(t.outcome.is_sdc for t in classified) / len(classified)
 
     def sdc_breakdown(self) -> dict[str, float]:
-        """Fractions of all trials that are subtle vs distorted SDCs."""
-        n = max(1, len(self.trials))
+        """Fractions of classified trials that are subtle vs distorted."""
+        n = max(1, len(self._classified()))
         subtle = sum(t.outcome is Outcome.SDC_SUBTLE for t in self.trials)
         distorted = sum(t.outcome is Outcome.SDC_DISTORTED for t in self.trials)
         return {"subtle": subtle / n, "distorted": distorted / n}
@@ -90,15 +143,107 @@ class CampaignResult:
         table: dict[int, dict[str, int]] = {}
         for t in self.trials:
             row = table.setdefault(
-                t.site.highest_bit, {"masked": 0, "subtle": 0, "distorted": 0}
+                t.site.highest_bit,
+                {"masked": 0, "subtle": 0, "distorted": 0, "failed": 0},
             )
             key = {
                 Outcome.MASKED: "masked",
                 Outcome.SDC_SUBTLE: "subtle",
                 Outcome.SDC_DISTORTED: "distorted",
+                Outcome.FAILED: "failed",
             }[t.outcome]
             row[key] += 1
         return table
+
+
+# ----------------------------------------------------------------------------
+# Runner-level fault injection (chaos testing the campaign driver).
+# ----------------------------------------------------------------------------
+
+
+class ChaosError(RuntimeError):
+    """Raised by :class:`CampaignChaos` strikes (transient or sticky)."""
+
+
+class TrialTimeoutError(RuntimeError):
+    """A trial exceeded ``trial_timeout`` and was abandoned."""
+
+
+@dataclass(frozen=True)
+class CampaignChaos:
+    """Deliberate faults in the campaign *runner* for resilience tests.
+
+    The repo injects bit flips into models; this injects failures into
+    the execution layer itself, so the supervisor's retry, quarantine,
+    timeout and pool-rebuild paths can be exercised deterministically.
+    All strikes key on the trial index; except for ``fail_always`` they
+    fire only on a trial's first attempt, so a correct supervisor
+    always recovers.
+    """
+
+    fail_transient: frozenset = frozenset()
+    """Trials that raise on their first attempt only."""
+    fail_always: frozenset = frozenset()
+    """Trials that raise on every attempt (deterministic failures)."""
+    die_in_worker: frozenset = frozenset()
+    """Trials that kill their worker process (first attempt, pool only)."""
+    hang: frozenset = frozenset()
+    """Trials that sleep ``hang_seconds`` on their first attempt."""
+    hang_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in ("fail_transient", "fail_always", "die_in_worker", "hang"):
+            object.__setattr__(self, name, frozenset(getattr(self, name)))
+
+    def strike(self, trial: int, attempt: int, in_worker: bool) -> None:
+        if trial in self.fail_always:
+            raise ChaosError(f"chaos: deterministic failure in trial {trial}")
+        if attempt > 0:
+            return
+        if trial in self.fail_transient:
+            raise ChaosError(f"chaos: transient failure in trial {trial}")
+        if trial in self.die_in_worker and in_worker:
+            os._exit(13)
+        if trial in self.hang:
+            time.sleep(self.hang_seconds)
+
+
+@dataclass(frozen=True)
+class _Supervision:
+    """Resolved fault-tolerance knobs for one ``run()`` invocation."""
+
+    trial_timeout: float | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    max_pool_rebuilds: int = 2
+
+
+@contextmanager
+def _trial_alarm(seconds: float | None):
+    """Best-effort serial trial timeout via ``SIGALRM``.
+
+    Active only on platforms with ``SIGALRM`` and from the main thread;
+    elsewhere serial trials run unbounded (pool execution enforces the
+    timeout in the parent instead).
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise TrialTimeoutError(f"trial exceeded {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 # ----------------------------------------------------------------------------
@@ -114,39 +259,48 @@ def _worker_init(
     campaign_state: dict,
     telemetry_active: bool = False,
 ) -> None:
-    _WORKER["engine"] = InferenceEngine(store, weight_policy=policy)
-    _WORKER["state"] = campaign_state
+    campaign = FICampaign.__new__(FICampaign)
+    campaign.__dict__.update(campaign_state)
+    campaign.engine = InferenceEngine(store, weight_policy=policy)
+    # Each worker builds its own prefill-session cache: sessions wrap
+    # the worker-local engine and are deliberately never pickled.  The
+    # cache persists across every trial this worker serves.
+    campaign._prefill_sessions = {}
+    _WORKER["campaign"] = campaign
+    _WORKER["in_pool"] = True
     if telemetry_active:
         # Workers collect into their own process-local telemetry; the
-        # parent merges the returned snapshots in chunk order, so the
+        # parent merges the returned snapshots in trial order, so the
         # merged stream is deterministic w.r.t. worker scheduling.
         tel = _telemetry()
         tel.reset()
         tel.enable()
-        attach_layer_timing(_WORKER["engine"], tel)
+        attach_layer_timing(campaign.engine, tel)
 
 
-def _worker_run(args: tuple[int, int]) -> tuple[list[TrialRecord], dict | None]:
-    lo, hi = args
-    state = _WORKER["state"]
-    campaign = FICampaign.__new__(FICampaign)
-    campaign.__dict__.update(state)
-    campaign.engine = _WORKER["engine"]
-    # Each worker builds its own prefill-session cache: sessions wrap
-    # the worker-local engine and are deliberately never pickled.
-    campaign._prefill_sessions = {}
-    records = [campaign._run_trial(i) for i in range(lo, hi)]
+def _worker_run_one(args: tuple[int, int]) -> tuple[TrialRecord, dict | None]:
+    """Run one trial in a pool worker; returns (record, telemetry)."""
+    trial, attempt = args
+    campaign: FICampaign = _WORKER["campaign"]
     tel = _telemetry()
+    if tel.active:
+        # Drop residue from a previously failed attempt on this worker.
+        tel.tracer.reset()
+        tel.metrics.reset()
+    try:
+        record = campaign._run_trial(trial, attempt)
+    except Exception:
+        campaign._post_failure_repair()
+        raise
     if not tel.active:
-        return records, None
+        return record, None
     payload = {
         "spans": [span.to_dict() for span in tel.tracer.records],
         "metrics": tel.metrics.snapshot(),
     }
-    # Disjoint payload per chunk even if one worker serves several.
     tel.tracer.reset()
     tel.metrics.reset()
-    return records, payload
+    return record, payload
 
 
 class FICampaign:
@@ -169,6 +323,7 @@ class FICampaign:
         mc_scoring: str = "auto",
         decode_strategy: str = "auto",
         decode_batch_size: int = 8,
+        chaos: CampaignChaos | None = None,
     ) -> None:
         self.engine = engine
         self.tokenizer = tokenizer
@@ -207,12 +362,80 @@ class FICampaign:
         self.decode_batch_size = decode_batch_size
         """Continuous-batching width for the fault-free generative
         baseline sweep (faulty trials decode one sequence at a time)."""
+        self.chaos = chaos
+        """Optional runner-level fault injection (resilience tests)."""
+        self._example_ids = [self._stable_example_id(ex) for ex in self.examples]
         self._baseline_preds: list | None = None
         self._baseline_selections: list | None = None
         self._prefill_sessions: dict[int, object] = {}
         """Per-example fault-free prefilled sessions (never pickled to
         workers — each worker rebuilds its own lazily)."""
         self._metric_baseline_memo: dict[tuple[str, int], float] = {}
+
+    # -- stable trial identity ---------------------------------------------------
+
+    @staticmethod
+    def _stable_example_id(ex) -> str:
+        """Content hash identifying an example across runs and reorders."""
+        if isinstance(ex, MCExample):
+            payload = ["mc", ex.prompt, list(ex.options), ex.answer_index]
+        else:
+            payload = ["gen", ex.prompt, ex.reference]
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def trial_key(self, trial: int) -> tuple[str, int, str]:
+        """The stable ``(example id, trial index, fault model)`` key.
+
+        This is the identity a checkpoint journal records and the sole
+        source of a trial's RNG entropy (besides the campaign seed) —
+        enumeration order, worker scheduling and resume boundaries can
+        never shift which site a trial samples.
+        """
+        idx = trial % len(self.examples)
+        return (self._example_ids[idx], trial, self.fault_model.value)
+
+    def _trial_rng(self, trial: int) -> np.random.Generator:
+        digest = hashlib.sha256(
+            json.dumps(self.trial_key(trial)).encode()
+        ).digest()
+        words = [
+            int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+        ]
+        return np.random.default_rng([self.seed, *words])
+
+    def fingerprint(self) -> dict:
+        """Result-determining configuration, hashed into checkpoints.
+
+        Perf knobs (``prefill_cache``, ``mc_scoring``,
+        ``decode_strategy``, ``decode_batch_size``) are excluded on
+        purpose: they cannot change TrialRecords (the differential
+        suite holds them to that), so a journal written under one
+        execution strategy may be resumed under another.
+        """
+        return {
+            "task": self.task_name,
+            "fault_model": self.fault_model.value,
+            "seed": self.seed,
+            "is_mc": self.is_mc,
+            "metrics": list(self.metrics),
+            "example_ids": list(self._example_ids),
+            "generation": {
+                "max_new_tokens": self.generation.max_new_tokens,
+                "num_beams": self.generation.num_beams,
+                "length_penalty": self.generation.length_penalty,
+                "eos_id": self.generation.eos_id,
+            },
+            "max_fault_iterations": self.max_fault_iterations,
+            "track_expert_selection": self.track_expert_selection,
+            "layer_filter": (
+                getattr(self.layer_filter, "__name__", repr(self.layer_filter))
+                if self.layer_filter is not None
+                else None
+            ),
+        }
 
     # -- shared single-example evaluation --------------------------------------
 
@@ -292,11 +515,10 @@ class FICampaign:
     # -- one trial ---------------------------------------------------------------
 
     def _trial_site(self, trial: int, max_iterations: int) -> FaultSite:
-        rng = np.random.default_rng([self.seed, trial])
         return sample_site(
             self.engine,
             self.fault_model,
-            rng,
+            self._trial_rng(trial),
             max_iterations=max_iterations,
             layer_filter=self.layer_filter,
         )
@@ -316,13 +538,13 @@ class FICampaign:
                 return True
         return False
 
-    def _run_trial(self, trial: int) -> TrialRecord:
+    def _run_trial(self, trial: int, attempt: int = 0) -> TrialRecord:
         tel = _telemetry()
         if not tel.active:
-            return self._run_trial_impl(trial)
+            return self._run_trial_impl(trial, attempt)
         t0 = time.perf_counter()
         with tel.span("campaign.trial", trial=trial, task=self.task_name) as span:
-            record = self._run_trial_impl(trial)
+            record = self._run_trial_impl(trial, attempt)
             span.set(
                 site=record.site.layer_name,
                 fault=record.site.fault_model.value,
@@ -363,7 +585,11 @@ class FICampaign:
             self._prefill_sessions[idx] = base
         return base.fork()
 
-    def _run_trial_impl(self, trial: int) -> TrialRecord:
+    def _run_trial_impl(self, trial: int, attempt: int = 0) -> TrialRecord:
+        if self.chaos is not None:
+            self.chaos.strike(
+                trial, attempt, in_worker=bool(_WORKER.get("in_pool"))
+            )
         idx = trial % len(self.examples)
         ex = self.examples[idx]
         max_iter = 1 if self.is_mc else self.generation.max_new_tokens
@@ -418,16 +644,85 @@ class FICampaign:
             selection_changed=self._selection_changed(idx, selections),
         )
 
+    # -- supervision -------------------------------------------------------------
+
+    def _post_failure_repair(self) -> None:
+        """Clear fault machinery a crashed trial may have left armed.
+
+        Injector context managers restore weights and remove hooks in
+        their ``finally`` paths; this is a belt-and-braces sweep for
+        exceptions raised between arm and guard (e.g. a timeout signal
+        landing inside ``__enter__``).
+        """
+        if len(self.engine.hooks):
+            self.engine.hooks.clear()
+        self.engine.capture = None
+
+    def _quarantine_record(self, trial: int, exc: BaseException) -> TrialRecord:
+        """A ``FAILED`` placeholder for a deterministically crashing trial."""
+        max_iter = 1 if self.is_mc else self.generation.max_new_tokens
+        if self.max_fault_iterations is not None:
+            max_iter = min(max_iter, self.max_fault_iterations)
+        tel = _telemetry()
+        if tel.active:
+            tel.metrics.counter("campaign.trials").add()
+            tel.metrics.counter("campaign.quarantined").add()
+            tel.metrics.counter("campaign.outcome.failed").add()
+        return TrialRecord(
+            site=self._trial_site(trial, max_iter),
+            example_index=trial % len(self.examples),
+            prediction="",
+            outcome=Outcome.FAILED,
+            metrics={},
+            changed=False,
+            selection_changed=None,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+    def _supervise_serial_trial(
+        self, trial: int, sup: _Supervision, attempt0: int = 0
+    ) -> tuple[TrialRecord, int]:
+        """Run one trial serially with retry/backoff/timeout/quarantine.
+
+        Returns ``(record, attempts_used)`` where ``attempts_used``
+        counts attempts made *by this call* plus ``attempt0`` prior
+        ones (journalled for post-mortems).
+        """
+        tel = _telemetry()
+        attempt = attempt0
+        failures = 0
+        while True:
+            try:
+                with _trial_alarm(sup.trial_timeout):
+                    record = self._run_trial(trial, attempt)
+                return record, attempt + 1
+            except Exception as exc:  # noqa: BLE001 — quarantine, don't crash
+                self._post_failure_repair()
+                failures += 1
+                attempt += 1
+                if failures > sup.max_retries:
+                    return self._quarantine_record(trial, exc), attempt
+                if tel.active:
+                    tel.metrics.counter("campaign.retries").add()
+                if sup.retry_backoff:
+                    time.sleep(sup.retry_backoff * (2 ** (failures - 1)))
+
     # -- aggregation ---------------------------------------------------------------
 
     def _aggregate(self, trials: list[TrialRecord]) -> CampaignResult:
         baseline = self.compute_baseline()
+        scored = [t for t in trials if t.outcome is not Outcome.FAILED]
         faulty: dict = {}
         normalized: dict = {}
+        nan_ci = RatioCI(float("nan"), float("nan"), float("nan"))
         for metric in baseline:
-            values = np.array([t.metrics[metric] for t in trials], dtype=np.float64)
-            faulty[metric] = float(values.mean())
-            if metric in ("accuracy", "exact_match"):
+            values = np.array(
+                [t.metrics[metric] for t in scored], dtype=np.float64
+            )
+            faulty[metric] = float(values.mean()) if len(values) else float("nan")
+            if not len(values):
+                normalized[metric] = nan_ci
+            elif metric in ("accuracy", "exact_match"):
                 base_hits = round(baseline[metric] / 100.0 * len(self.examples))
                 normalized[metric] = log_ratio_ci_proportions(
                     int((values > 0).sum()),
@@ -437,14 +732,14 @@ class FICampaign:
                 )
             else:
                 ratios = []
-                for t in trials:
+                for t in scored:
                     base = self._per_example_baseline(metric, t.example_index)
                     if base > 0:
                         ratios.append(t.metrics[metric] / base)
                 normalized[metric] = (
                     log_ratio_ci_means(np.array(ratios), 1.0)
                     if ratios
-                    else RatioCI(float("nan"), float("nan"), float("nan"))
+                    else nan_ci
                 )
         return CampaignResult(
             task_name=self.task_name,
@@ -474,15 +769,41 @@ class FICampaign:
 
     # -- entry points ------------------------------------------------------------
 
-    def run(self, n_trials: int, n_workers: int = 0) -> CampaignResult:
+    def run(
+        self,
+        n_trials: int,
+        n_workers: int = 0,
+        *,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
+        trial_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        max_pool_rebuilds: int = 2,
+    ) -> CampaignResult:
         """Execute ``n_trials`` fault injections (optionally in parallel).
 
-        ``n_workers=0`` runs serially; otherwise a process pool
-        partitions the trial range.  Results are identical either way
-        because every trial derives its RNG from ``[seed, trial]``.
-        Telemetry, when enabled, is likewise partition-invariant:
-        worker snapshots merge in chunk order.
+        ``n_workers=0`` runs serially; otherwise a supervised process
+        pool executes trials individually.  Results are identical
+        either way because every trial derives its RNG from its stable
+        :meth:`trial_key`.  Telemetry, when enabled, is likewise
+        schedule-invariant: worker snapshots merge in trial order.
+
+        ``checkpoint`` journals every completed trial to a JSONL file;
+        with ``resume=True`` an existing journal's trials are loaded
+        and skipped (see :meth:`resume`).  ``trial_timeout`` bounds one
+        trial's wall clock; trials that raise are retried up to
+        ``max_retries`` times with exponential ``retry_backoff`` before
+        being quarantined as :attr:`Outcome.FAILED`; a process pool
+        broken by worker death is rebuilt up to ``max_pool_rebuilds``
+        times, after which execution degrades to serial.
         """
+        sup = _Supervision(
+            trial_timeout=trial_timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            max_pool_rebuilds=max_pool_rebuilds,
+        )
         tel = _telemetry()
         detach = attach_layer_timing(self.engine, tel) if tel.active else None
         try:
@@ -493,22 +814,84 @@ class FICampaign:
                 trials=n_trials,
                 workers=n_workers,
             ):
-                return self._run(n_trials, n_workers, tel)
+                return self._run(n_trials, n_workers, tel, sup, checkpoint, resume)
         finally:
             if detach is not None:
                 detach()
 
-    def _run(self, n_trials: int, n_workers: int, tel) -> CampaignResult:
+    def resume(
+        self,
+        checkpoint: str | Path,
+        n_trials: int,
+        n_workers: int = 0,
+        **supervision,
+    ) -> CampaignResult:
+        """Resume a checkpointed campaign, re-running only missing trials.
+
+        Already-journalled ``(example, trial, fault)`` keys are skipped;
+        the aggregate over journalled + fresh trials is bit-identical
+        to an uninterrupted ``run(n_trials)`` because trial RNGs derive
+        from stable keys.  A journal written by a *different* campaign
+        configuration is rejected (fingerprint hash mismatch).  If the
+        checkpoint file does not exist yet, this is simply a
+        checkpointed run from scratch.
+        """
+        return self.run(
+            n_trials, n_workers, checkpoint=checkpoint, resume=True, **supervision
+        )
+
+    def _run(
+        self,
+        n_trials: int,
+        n_workers: int,
+        tel,
+        sup: _Supervision,
+        checkpoint: str | Path | None,
+        resume: bool,
+    ) -> CampaignResult:
         self.compute_baseline()
         if tel.active and not self.is_mc:
             # Materialize both counters up front so traced reports always
             # show the hit/miss pair, even when one side stays zero.
             tel.metrics.counter("engine.prefill_cache_hits")
             tel.metrics.counter("engine.prefill_cache_misses")
-        if n_workers <= 1:
-            trials = [self._run_trial(i) for i in range(n_trials)]
-            return self._aggregate(trials)
+        results: dict[int, TrialRecord] = {}
+        journal: CampaignCheckpoint | None = None
+        if checkpoint is not None:
+            with tel.span(
+                "campaign.checkpoint", path=str(checkpoint), resume=resume
+            ) as span:
+                journal = CampaignCheckpoint(
+                    checkpoint, self.fingerprint(), resume=resume
+                )
+                for trial, record in journal.completed.items():
+                    if trial < n_trials:
+                        results[trial] = record
+                span.set(skipped=len(results))
+            if tel.active and results:
+                tel.metrics.counter("campaign.resume_skipped").add(len(results))
+        todo = [t for t in range(n_trials) if t not in results]
+        try:
+            if n_workers <= 1 or len(todo) <= 1:
+                for trial in todo:
+                    record, attempts = self._supervise_serial_trial(trial, sup)
+                    results[trial] = record
+                    if journal is not None:
+                        journal.write(
+                            trial, self.trial_key(trial), record, attempts
+                        )
+            else:
+                self._run_supervised_pool(
+                    todo, n_workers, tel, sup, journal, results
+                )
+        finally:
+            if journal is not None:
+                journal.close()
+        trials = [results[t] for t in range(n_trials)]
+        return self._aggregate(trials)
 
+    def _pool_initargs(self, tel) -> tuple:
+        """Pickle-safe worker-initializer arguments (engine rebuilt there)."""
         # Prefilled sessions hold engine references and KV buffers —
         # workers rebuild their own lazily instead of unpickling ours.
         state = {
@@ -526,29 +909,163 @@ class FICampaign:
                 **self.engine._plain,
             },
         )
-        n_workers = min(n_workers, os.cpu_count() or 1, n_trials)
-        bounds = np.linspace(0, n_trials, n_workers + 1, dtype=int)
-        chunks = [
-            (int(lo), int(hi))
-            for lo, hi in zip(bounds[:-1], bounds[1:])
-            if hi > lo
-        ]
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=_worker_init,
-            initargs=(store, self.engine.weight_policy, state, tel.active),
-        ) as pool:
-            parts = list(pool.map(_worker_run, chunks))
-        trials = [t for records, _ in parts for t in records]
-        if tel.active:
-            # ``pool.map`` yields results in chunk submission order, so
-            # merging here is deterministic regardless of which worker
-            # finished first.
-            for _, payload in parts:
-                if payload is None:
+        return store, self.engine.weight_policy, state, tel.active
+
+    def _run_supervised_pool(
+        self,
+        todo: list[int],
+        n_workers: int,
+        tel,
+        sup: _Supervision,
+        journal: CampaignCheckpoint | None,
+        results: dict[int, TrialRecord],
+    ) -> None:
+        """Supervised pool execution: per-trial futures, rebuilt on death.
+
+        Pool generations: all pending trials are submitted to one
+        executor; a timeout or worker death condemns the executor
+        (finished futures are still harvested), the unfinished trials
+        carry over to a rebuilt pool.  After ``max_pool_rebuilds``
+        condemnations the remaining trials run serially in the parent
+        — graceful degradation beats a dead campaign.
+        """
+        initargs = self._pool_initargs(tel)
+        attempts = {t: 0 for t in todo}
+        failures = {t: 0 for t in todo}
+        payloads: dict[int, dict] = {}
+        pending = list(todo)
+        rebuilds = 0
+
+        def accept(trial: int, record: TrialRecord, payload: dict | None):
+            results[trial] = record
+            if payload is not None:
+                payloads[trial] = payload
+            if journal is not None:
+                journal.write(
+                    trial, self.trial_key(trial), record, attempts[trial]
+                )
+
+        while pending:
+            if rebuilds > sup.max_pool_rebuilds:
+                if tel.active:
+                    tel.metrics.counter("campaign.pool_degraded").add()
+                for trial in pending:
+                    record, n_att = self._supervise_serial_trial(
+                        trial, sup, attempt0=attempts[trial]
+                    )
+                    attempts[trial] = n_att
+                    accept(trial, record, None)
+                break
+            workers = min(n_workers, os.cpu_count() or 1, len(pending))
+            executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=initargs,
+            )
+            queue = deque(
+                (t, executor.submit(_worker_run_one, (t, attempts[t])))
+                for t in pending
+            )
+            for t in pending:
+                attempts[t] += 1
+            carry_over: list[int] = []
+            condemned = False
+            while queue:
+                trial, fut = queue.popleft()
+                if condemned:
+                    # Executor already condemned: harvest whatever
+                    # finished cleanly, requeue the rest for the next
+                    # pool generation.
+                    if fut.done() and not fut.cancelled():
+                        try:
+                            record, payload = fut.result()
+                        except Exception:  # victim of the breakage
+                            carry_over.append(trial)
+                            continue
+                        accept(trial, record, payload)
+                    else:
+                        # Deliberately not cancelled here: the broken
+                        # executor's own teardown resolves it (racing a
+                        # manual cancel against that trips 3.11's
+                        # InvalidStateError in the management thread).
+                        carry_over.append(trial)
                     continue
+                try:
+                    record, payload = fut.result(timeout=sup.trial_timeout)
+                except _FuturesTimeout:
+                    # The worker running this trial is stuck; abandon
+                    # the whole pool (we cannot reclaim one worker).
+                    failures[trial] += 1
+                    condemned = True
+                    rebuilds += 1
+                    if failures[trial] > sup.max_retries:
+                        accept(
+                            trial,
+                            self._quarantine_record(
+                                trial,
+                                TrialTimeoutError(
+                                    f"trial exceeded {sup.trial_timeout:g}s"
+                                ),
+                            ),
+                            None,
+                        )
+                    else:
+                        if tel.active:
+                            tel.metrics.counter("campaign.retries").add()
+                        carry_over.append(trial)
+                except BrokenProcessPool:
+                    # A worker died (this trial may be the killer or a
+                    # victim — indistinguishable); rebuild and re-run
+                    # every unfinished trial.
+                    condemned = True
+                    rebuilds += 1
+                    if tel.active:
+                        tel.metrics.counter("campaign.retries").add()
+                    carry_over.append(trial)
+                except Exception as exc:  # noqa: BLE001 — worker-raised error
+                    failures[trial] += 1
+                    if failures[trial] > sup.max_retries:
+                        accept(trial, self._quarantine_record(trial, exc), None)
+                    else:
+                        if tel.active:
+                            tel.metrics.counter("campaign.retries").add()
+                        if sup.retry_backoff:
+                            time.sleep(
+                                sup.retry_backoff * (2 ** (failures[trial] - 1))
+                            )
+                        # The executor is healthy — retry on it directly.
+                        queue.append(
+                            (
+                                trial,
+                                executor.submit(
+                                    _worker_run_one, (trial, attempts[trial])
+                                ),
+                            )
+                        )
+                        attempts[trial] += 1
+                else:
+                    accept(trial, record, payload)
+            if condemned:
+                # A condemned pool is abandoned outright: kill its
+                # workers first (one may be stuck mid-trial for
+                # minutes) so they can't outlive the campaign or block
+                # process exit — shutdown() drops the process table, so
+                # this must happen before it.  The executor's
+                # broken-pool teardown then resolves any still-pending
+                # futures; nobody awaits them again.
+                for proc in list(
+                    (getattr(executor, "_processes", None) or {}).values()
+                ):
+                    proc.terminate()
+            executor.shutdown(wait=True)
+            pending = sorted(carry_over)
+        if tel.active:
+            # Merge worker telemetry in trial order, so the merged
+            # stream is deterministic regardless of which worker (or
+            # pool generation) served which trial.
+            for trial in sorted(payloads):
+                payload = payloads[trial]
                 tel.metrics.merge(payload["metrics"])
                 tel.tracer.adopt(
                     [SpanRecord.from_dict(d) for d in payload["spans"]]
                 )
-        return self._aggregate(trials)

@@ -22,16 +22,24 @@ __all__ = ["Outcome", "is_distorted", "classify_direct_answer", "classify_genera
 
 
 class Outcome(enum.Enum):
-    """Fault-injection run outcome (Masked vs the two SDC kinds)."""
+    """Fault-injection run outcome (Masked vs the two SDC kinds).
+
+    ``FAILED`` is the campaign runner's analogue of a DUE (detected
+    unrecoverable error): the trial itself crashed deterministically —
+    every retry raised — and was quarantined instead of aborting the
+    campaign.  A FAILED trial produced no model output, so it is
+    neither masked nor an SDC and carries no metrics.
+    """
 
     MASKED = "masked"
     SDC_SUBTLE = "sdc-subtle"
     SDC_DISTORTED = "sdc-distorted"
+    FAILED = "failed"
 
     @property
     def is_sdc(self) -> bool:
         """True for any silent data corruption (wrong output)."""
-        return self is not Outcome.MASKED
+        return self not in (Outcome.MASKED, Outcome.FAILED)
 
 
 _MAX_REPEAT_RUN = 3

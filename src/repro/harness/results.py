@@ -12,7 +12,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-__all__ = ["ExperimentResult", "format_table", "save_result", "load_result"]
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "format_campaign",
+    "save_result",
+    "load_result",
+]
 
 
 @dataclass
@@ -69,6 +75,37 @@ def format_table(result: ExperimentResult) -> str:
             lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
     for note in result.notes:
         lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def format_campaign(result) -> str:
+    """Render one ``CampaignResult`` as the CLI's campaign report.
+
+    Shared between ``python -m repro campaign`` and the resilience test
+    suite: an interrupted-then-resumed campaign must produce this exact
+    text — normalized performance, CIs, SDC breakdown — byte for byte.
+    Quarantined trials, when present, are reported on their own line so
+    a degraded campaign is visibly degraded.
+    """
+    lines = [
+        f"task={result.task_name} fault={result.fault_model.value}"
+        f" trials={result.n_trials}"
+    ]
+    for metric in result.baseline:
+        ci = result.normalized[metric]
+        lines.append(
+            f"{metric:12s} baseline {result.baseline[metric]:8.3f}"
+            f"  faulty {result.faulty[metric]:8.3f}"
+            f"  normalized {ci.ratio:.4f} [{ci.lower:.4f}, {ci.upper:.4f}]"
+        )
+    breakdown = result.sdc_breakdown()
+    lines.append(
+        f"sdc rate {result.sdc_rate:.3f}"
+        f" (subtle {breakdown['subtle']:.3f},"
+        f" distorted {breakdown['distorted']:.3f})"
+    )
+    if result.quarantined:
+        lines.append(f"quarantined {result.quarantined} trial(s) as FAILED")
     return "\n".join(lines)
 
 

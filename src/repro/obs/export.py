@@ -20,15 +20,21 @@ __all__ = ["JsonlWriter", "write_run", "read_jsonl", "read_run", "RunData"]
 
 
 class JsonlWriter:
-    """Append-per-record JSONL writer (one flush per record)."""
+    """Append-per-record JSONL writer (one flush per record).
 
-    def __init__(self, path: str | Path) -> None:
+    ``append=True`` opens an existing file for appending instead of
+    truncating — the mode durable journals (campaign checkpoints)
+    reopen their files with across restarts.
+    """
+
+    def __init__(self, path: str | Path, append: bool = False) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = self.path.open("w", encoding="utf-8")
+        self._fh = self.path.open("a" if append else "w", encoding="utf-8")
 
     def write(self, record: dict) -> None:
         self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._fh.flush()
 
     def close(self) -> None:
         self._fh.close()

@@ -10,10 +10,10 @@ reference loop:
 * greedy and beam decoding produce token-for-token serial outputs,
   including when slots retire and refill mid-run;
 * the FI-safety gate batches exactly when results cannot change —
-  row-scoped injector hooks keep batching, everything else falls back;
-* campaigns emit identical ``TrialRecord`` sequences with
-  ``decode_strategy`` ``"auto"`` vs ``"serial"``, for every fault
-  model, serially and under a worker pool.
+  row-scoped injector hooks keep batching, everything else falls back.
+
+Campaign-level ``decode_strategy`` bit-identity sweeps are consolidated
+in ``test_differential.py`` behind ``repro.fi.assert_records_equal``.
 """
 
 import numpy as np
@@ -23,7 +23,6 @@ from repro.fi import (
     ComputationalFaultInjector,
     FaultModel,
     FaultSite,
-    FICampaign,
     MemoryFaultInjector,
 )
 from repro.generation import (
@@ -34,12 +33,8 @@ from repro.generation import (
     generate_ids,
     greedy_decode,
 )
-from repro.inference import InferenceEngine
 from repro.inference.engine import CaptureState
 from repro.obs import telemetry
-from repro.tasks import TranslationTask, standardized_subset
-
-from tests.test_prefix_cache import _gen_campaign, _records
 
 PROMPT = [3, 5, 7, 2, 9]
 PROMPTS = [[3, 5, 7], [11, 13, 17, 19, 4], [23, 29], [8, 15, 16, 42], [6], [31, 37]]
@@ -416,58 +411,3 @@ class TestDecodeTelemetry:
         assert "decode.batch" in names
 
 
-class TestCampaignDecodeEquivalence:
-    """``decode_strategy="auto"`` replays the serial campaign bit-for-bit."""
-
-    @pytest.mark.parametrize("fault_model", FaultModel.all())
-    def test_trials_identical(
-        self, untrained_store, tokenizer, world, fault_model
-    ):
-        auto = _gen_campaign(
-            InferenceEngine(untrained_store), tokenizer, world, fault_model
-        ).run(8)
-        serial = _gen_campaign(
-            InferenceEngine(untrained_store),
-            tokenizer,
-            world,
-            fault_model,
-            decode_strategy="serial",
-        ).run(8)
-        assert _records(auto) == _records(serial)
-        assert auto.baseline == serial.baseline
-
-    def test_parallel_matches_serial(self, untrained_store, tokenizer, world):
-        auto = _gen_campaign(
-            InferenceEngine(untrained_store),
-            tokenizer,
-            world,
-            FaultModel.COMP_2BIT,
-        ).run(6, n_workers=2)
-        serial = _gen_campaign(
-            InferenceEngine(untrained_store),
-            tokenizer,
-            world,
-            FaultModel.COMP_2BIT,
-            decode_strategy="serial",
-        ).run(6, n_workers=0)
-        assert _records(auto) == _records(serial)
-
-    def test_beam_campaign_identical(self, untrained_store, tokenizer, world):
-        task = TranslationTask(world)
-
-        def campaign(strategy):
-            return FICampaign(
-                engine=InferenceEngine(untrained_store),
-                tokenizer=tokenizer,
-                task_name=task.name,
-                metrics=task.metrics,
-                examples=standardized_subset(task, 3),
-                fault_model=FaultModel.COMP_1BIT,
-                seed=9,
-                generation=GenerationConfig(
-                    max_new_tokens=6, num_beams=3, eos_id=tokenizer.vocab.eos_id
-                ),
-                decode_strategy=strategy,
-            ).run(6)
-
-        assert _records(campaign("auto")) == _records(campaign("serial"))

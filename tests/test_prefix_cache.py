@@ -6,11 +6,13 @@ the reference path:
 * shared-prefix (batched/incremental) option scoring vs. per-option
   ``forward_full`` — same argmax, same scores up to float associativity,
   and *exactly* the reference path whenever fault machinery is armed;
-* trial-level prefill caching in ``FICampaign`` — identical
-  ``TrialRecord`` sequences for every fault model, serial and parallel;
 * session/KV machinery the above lean on — fork independence after
   further steps, snapshot/restore round-trips, decoding from a
   pre-built session.
+
+Campaign-level bit-identity sweeps (prefill caching, batched decode,
+worker pools vs. the serial reference) are consolidated in
+``test_differential.py`` behind ``repro.fi.assert_records_equal``.
 """
 
 import numpy as np
@@ -20,7 +22,6 @@ from repro.fi import (
     ComputationalFaultInjector,
     FaultModel,
     FaultSite,
-    FICampaign,
     MemoryFaultInjector,
 )
 from repro.generation import (
@@ -32,9 +33,9 @@ from repro.generation import (
     score_continuation,
     score_options,
 )
-from repro.inference import InferenceEngine, KVCache
+from repro.inference import KVCache
 from repro.obs import telemetry
-from repro.tasks import MMLUTask, TranslationTask, standardized_subset
+from repro.tasks import MMLUTask, standardized_subset
 
 PROMPT = [3, 5, 7, 2, 9]
 OPTIONS = [[11, 13], [17], [19, 23, 29], [4, 8]]
@@ -281,116 +282,18 @@ class TestBatchedForward:
             )
 
 
-def _records(result):
-    return [
-        (
-            t.site,
-            t.example_index,
-            t.prediction,
-            t.outcome,
-            t.changed,
-            t.selection_changed,
-            tuple(sorted(t.metrics.items())),
-        )
-        for t in result.trials
-    ]
-
-
-def _mc_campaign(engine, tokenizer, world, fault_model, **kw):
-    task = MMLUTask(world)
-    return FICampaign(
-        engine=engine,
-        tokenizer=tokenizer,
-        task_name=task.name,
-        metrics=task.metrics,
-        examples=standardized_subset(task, 3),
-        fault_model=fault_model,
-        seed=9,
-        **kw,
-    )
-
-
-def _gen_campaign(engine, tokenizer, world, fault_model, **kw):
-    task = TranslationTask(world)
-    return FICampaign(
-        engine=engine,
-        tokenizer=tokenizer,
-        task_name=task.name,
-        metrics=task.metrics,
-        examples=standardized_subset(task, 3),
-        fault_model=fault_model,
-        seed=9,
-        generation=GenerationConfig(
-            max_new_tokens=task.max_new_tokens, eos_id=tokenizer.vocab.eos_id
-        ),
-        **kw,
-    )
-
-
-class TestCampaignEquivalence:
-    """Optimized campaigns replay the unoptimized path bit-for-bit."""
-
-    @pytest.mark.parametrize("fault_model", FaultModel.all())
-    def test_mc_trials_identical(
-        self, untrained_store, tokenizer, world, fault_model
-    ):
-        fast = _mc_campaign(
-            InferenceEngine(untrained_store), tokenizer, world, fault_model
-        ).run(8)
-        slow = _mc_campaign(
-            InferenceEngine(untrained_store),
-            tokenizer,
-            world,
-            fault_model,
-            prefill_cache=False,
-            mc_scoring="full",
-        ).run(8)
-        assert _records(fast) == _records(slow)
-        assert fast.baseline == slow.baseline
-
-    @pytest.mark.parametrize("fault_model", FaultModel.all())
-    def test_generative_trials_identical(
-        self, untrained_store, tokenizer, world, fault_model
-    ):
-        fast = _gen_campaign(
-            InferenceEngine(untrained_store), tokenizer, world, fault_model
-        ).run(8)
-        slow = _gen_campaign(
-            InferenceEngine(untrained_store),
-            tokenizer,
-            world,
-            fault_model,
-            prefill_cache=False,
-            mc_scoring="full",
-        ).run(8)
-        assert _records(fast) == _records(slow)
-
-    def test_parallel_matches_serial_with_cache(
-        self, untrained_store, tokenizer, world
-    ):
-        serial = _gen_campaign(
-            InferenceEngine(untrained_store),
-            tokenizer,
-            world,
-            FaultModel.COMP_2BIT,
-        ).run(6, n_workers=0)
-        parallel = _gen_campaign(
-            InferenceEngine(untrained_store),
-            tokenizer,
-            world,
-            FaultModel.COMP_2BIT,
-        ).run(6, n_workers=2)
-        assert _records(serial) == _records(parallel)
+class TestCampaignTelemetry:
+    """Counters the optimization layers emit (equivalence sweeps live in
+    ``test_differential.py`` behind the shared oracle)."""
 
     def test_prefill_cache_counters_traced(
         self, untrained_store, tokenizer, world, clean_telemetry
     ):
+        from tests.test_differential import make_campaign
+
         clean_telemetry.enable()
-        _gen_campaign(
-            InferenceEngine(untrained_store),
-            tokenizer,
-            world,
-            FaultModel.COMP_2BIT,
+        make_campaign(
+            untrained_store, tokenizer, world, "gen", FaultModel.COMP_2BIT
         ).run(6)
         counters = clean_telemetry.metrics.counters
         assert "engine.prefill_cache_hits" in counters

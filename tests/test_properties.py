@@ -7,7 +7,8 @@ from hypothesis import strategies as st
 
 from repro.fi import FaultModel, FaultSite, inject, sample_site
 from repro.generation import GenerationConfig, greedy_decode
-from repro.inference import InferenceEngine
+from repro.inference import InferenceEngine, KVCache
+from repro.inference.kvcache import PooledKVCache
 from repro.model import ModelConfig, TransformerLM
 
 VOCAB = 40
@@ -127,6 +128,121 @@ def test_property_storage_policies_preserve_argmax_mostly(seed, policy):
     logits = engine.forward_full(prompt)
     assert np.isfinite(logits).all()
     assert logits.shape == (6, VOCAB)
+
+
+# ----------------------------------------------------------------------------
+# KV-cache machinery invariants (the substrate under batching/prefill
+# caching — a silent violation here corrupts campaigns undetectably).
+# ----------------------------------------------------------------------------
+
+_kv_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["append", "truncate", "snapshot", "restore"]),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=24,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_kv_ops, st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_kvcache_tracks_reference_model(ops, seed):
+    """Any append/truncate/snapshot/restore interleaving matches a
+    trivially correct concatenate-everything reference model."""
+    rng = np.random.default_rng(seed)
+    cache = KVCache(2, 16, 4)
+    ref_k = np.zeros((2, 0, 4), dtype=np.float32)
+    ref_v = np.zeros((2, 0, 4), dtype=np.float32)
+    snap = snap_ref = None
+    for op, arg in ops:
+        if op == "append":
+            t = arg % 4 + 1
+            if cache.length + t > cache.max_seq:
+                continue
+            k = rng.normal(size=(2, t, 4)).astype(np.float32)
+            v = rng.normal(size=(2, t, 4)).astype(np.float32)
+            cache.append(k, v)
+            ref_k = np.concatenate([ref_k, k], axis=1)
+            ref_v = np.concatenate([ref_v, v], axis=1)
+        elif op == "truncate":
+            length = min(arg, cache.length)
+            cache.truncate(length)
+            ref_k, ref_v = ref_k[:, :length], ref_v[:, :length]
+        elif op == "snapshot":
+            snap = cache.snapshot()
+            snap_ref = (ref_k.copy(), ref_v.copy())
+        elif op == "restore" and snap is not None:
+            cache.restore(snap)
+            ref_k, ref_v = snap_ref[0].copy(), snap_ref[1].copy()
+        assert cache.length == ref_k.shape[1]
+        np.testing.assert_array_equal(cache.keys(), ref_k)
+        np.testing.assert_array_equal(cache.values(), ref_v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=99), max_size=30),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_pool_conservation_and_isolation(script, seed):
+    """Acquire/release in any order: slot accounting is conserved, a
+    fresh slot is always empty, and no held slot's contents are ever
+    disturbed by activity in other slots."""
+    rng = np.random.default_rng(seed)
+    n_slots = 3
+    pool = PooledKVCache(
+        n_layers=2, n_slots=n_slots, n_heads=2, max_seq=8, head_dim=4
+    )
+    held: dict[int, np.ndarray] = {}
+    for cmd in script:
+        if cmd % 2 == 0 and pool.n_free:
+            slot = pool.acquire()
+            assert slot not in held, "acquired a slot that is still held"
+            views = pool.caches(slot)
+            assert all(v.length == 0 for v in views)
+            marker = rng.normal(size=(2, cmd % 4 + 1, 4)).astype(np.float32)
+            for view in views:
+                view.append(marker, -marker)
+            held[slot] = marker
+        elif cmd % 2 == 1 and held:
+            slot = sorted(held)[cmd % len(held)]
+            pool.release(slot)
+            del held[slot]
+        assert pool.n_free + len(held) == n_slots
+        for slot, marker in held.items():
+            for view in pool.caches(slot):
+                np.testing.assert_array_equal(view.keys(), marker)
+                np.testing.assert_array_equal(view.values(), -marker)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=1, max_value=6),
+)
+def test_property_pool_copy_slot_is_independent(seed, length):
+    """``copy_slot`` duplicates exactly the filled prefix and leaves the
+    two slots free of aliasing afterwards."""
+    rng = np.random.default_rng(seed)
+    pool = PooledKVCache(
+        n_layers=2, n_slots=2, n_heads=2, max_seq=8, head_dim=4
+    )
+    src, dst = pool.acquire(), pool.acquire()
+    payload = rng.normal(size=(2, length, 4)).astype(np.float32)
+    for view in pool.caches(src):
+        view.append(payload, -payload)
+    pool.copy_slot(src, dst)
+    for a, b in zip(pool.caches(src), pool.caches(dst)):
+        assert b.length == a.length == length
+        np.testing.assert_array_equal(b.keys(), a.keys())
+        assert not np.shares_memory(a.k, b.k)
+    # Diverge the copy: the source must not move.
+    extra = rng.normal(size=(2, 1, 4)).astype(np.float32)
+    for view in pool.caches(dst):
+        view.append(extra, extra)
+    for view in pool.caches(src):
+        assert view.length == length
+        np.testing.assert_array_equal(view.keys(), payload)
 
 
 class TestFaultModelCoverage:
