@@ -24,9 +24,7 @@ to the repo root.  Standalone (no pytest-benchmark) so CI can run it in
 from __future__ import annotations
 
 import argparse
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -162,13 +160,9 @@ def main(argv: list[str] | None = None) -> int:
         ),
     }
 
-    repo_root = Path(__file__).resolve().parent.parent
-    out = Path(args.out or repo_root / "artifacts" / "results" / "BENCH_decode.json")
-    out.parent.mkdir(parents=True, exist_ok=True)
-    text = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
-    out.write_text(text)
-    root_copy = repo_root / "BENCH_decode.json"
-    root_copy.write_text(text)
+    from conftest import write_bench_json
+
+    out, root_copy = write_bench_json("decode", payload, out=args.out)
     print(
         f"greedy: {greedy['speedup']:.2f}x"
         f" ({greedy['tokens_per_sec_serial']:.1f} ->"

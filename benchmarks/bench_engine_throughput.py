@@ -19,9 +19,7 @@ with ``--out``).  Unlike the figure benches this is a standalone script
 from __future__ import annotations
 
 import argparse
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -186,14 +184,9 @@ def main(argv: list[str] | None = None) -> int:
         ),
     }
 
-    repo_root = Path(__file__).resolve().parent.parent
-    out = Path(args.out or repo_root / "artifacts" / "results" / "BENCH_engine.json")
-    out.parent.mkdir(parents=True, exist_ok=True)
-    text = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
-    out.write_text(text)
-    # Keep a copy at the repo root so the headline numbers ship with
-    # the tree (same convention as BENCH_decode.json).
-    (repo_root / "BENCH_engine.json").write_text(text)
+    from conftest import write_bench_json
+
+    out, _ = write_bench_json("engine", payload, out=args.out)
     print(f"decode: {decode['tokens_per_sec']:.1f} tokens/sec")
     print(
         f"mc option scoring: {mc['speedup']:.2f}x"

@@ -15,6 +15,9 @@ Commands
     ``--resume`` (skip already-journalled trials; bit-identical to an
     uninterrupted run), ``--trial-timeout SECONDS`` and ``--retries N``
     (crashing trials retry, then quarantine as ``FAILED``).
+    ``--draft-model NAME --spec-depth GAMMA`` speculatively decodes
+    fault-free generative baselines with a small draft model (injected
+    trials keep the exact serial path).
 ``experiment ID [...]``
     Reproduce one paper table/figure (e.g. ``fig17``, ``table2``).
 ``obs report RUN.jsonl``
@@ -109,6 +112,20 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--examples", type=int, default=12)
     campaign.add_argument("--policy", default="bf16")
     campaign.add_argument("--beams", type=int, default=1)
+    campaign.add_argument(
+        "--draft-model",
+        choices=zoo_names(),
+        default=None,
+        help="zoo model drafting for speculative greedy decoding of"
+        " fault-free baselines (injected trials stay serial)",
+    )
+    campaign.add_argument(
+        "--spec-depth",
+        type=int,
+        default=4,
+        metavar="GAMMA",
+        help="draft tokens proposed per speculative verify round",
+    )
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument(
         "--workers", type=int, default=0, help="process-pool size (0 = serial)"
@@ -261,6 +278,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         fault_model=FaultModel(args.fault),
         seed=args.seed,
         generation=ctx.generation(task, num_beams=args.beams),
+        draft_model=(
+            ctx.engine(args.draft_model, args.policy)
+            if args.draft_model
+            else None
+        ),
+        speculation_depth=args.spec_depth,
     )
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint PATH", file=sys.stderr)

@@ -56,6 +56,7 @@ from repro.fi.outcomes import Outcome, classify_direct_answer, classify_generati
 from repro.fi.sites import FaultSite, LayerFilter, sample_site
 from repro.generation.batched import BatchedDecoder
 from repro.generation.decode import GenerationConfig, choose_option, generate_ids
+from repro.generation.speculative import SpeculativeDecoder
 from repro.inference.engine import CaptureState, InferenceEngine
 from repro.metrics.evaluate import score_generative
 from repro.model.params import ParamStore
@@ -258,10 +259,19 @@ def _worker_init(
     policy: str,
     campaign_state: dict,
     telemetry_active: bool = False,
+    draft_store: ParamStore | None = None,
+    draft_policy: str | None = None,
 ) -> None:
     campaign = FICampaign.__new__(FICampaign)
     campaign.__dict__.update(campaign_state)
     campaign.engine = InferenceEngine(store, weight_policy=policy)
+    # The draft engine (like the target) is rebuilt worker-side from
+    # its exported store rather than pickled with live fault machinery.
+    campaign.draft_model = (
+        InferenceEngine(draft_store, weight_policy=draft_policy or "fp32")
+        if draft_store is not None
+        else None
+    )
     # Each worker builds its own prefill-session cache: sessions wrap
     # the worker-local engine and are deliberately never pickled.  The
     # cache persists across every trial this worker serves.
@@ -323,6 +333,8 @@ class FICampaign:
         mc_scoring: str = "auto",
         decode_strategy: str = "auto",
         decode_batch_size: int = 8,
+        draft_model: InferenceEngine | None = None,
+        speculation_depth: int = 4,
         chaos: CampaignChaos | None = None,
     ) -> None:
         self.engine = engine
@@ -362,14 +374,33 @@ class FICampaign:
         self.decode_batch_size = decode_batch_size
         """Continuous-batching width for the fault-free generative
         baseline sweep (faulty trials decode one sequence at a time)."""
+        if draft_model is not None and (
+            draft_model.config.vocab_size != engine.config.vocab_size
+        ):
+            raise ValueError(
+                "draft_model must share the target's vocabulary:"
+                f" draft has {draft_model.config.vocab_size} tokens,"
+                f" target has {engine.config.vocab_size}"
+            )
+        if decode_strategy == "speculative" and draft_model is None:
+            raise ValueError("decode_strategy='speculative' needs a draft_model")
+        self.draft_model = draft_model
+        """Optional same-tokenizer draft engine for speculative greedy
+        decoding.  Fault-free generative work — the baseline sweep and
+        any trial whose fault machinery is not armed — drafts
+        ``speculation_depth`` tokens per verify round; injected trials
+        fail the :func:`~repro.generation.speculative.decode_speculation_safe`
+        gate and run the exact serial reference path automatically."""
+        self.speculation_depth = speculation_depth
         self.chaos = chaos
         """Optional runner-level fault injection (resilience tests)."""
         self._example_ids = [self._stable_example_id(ex) for ex in self.examples]
         self._baseline_preds: list | None = None
         self._baseline_selections: list | None = None
-        self._prefill_sessions: dict[int, object] = {}
-        """Per-example fault-free prefilled sessions (never pickled to
-        workers — each worker rebuilds its own lazily)."""
+        self._prefill_sessions: dict[int, tuple] = {}
+        """Per-example ``(session, cache snapshots, last_logits,
+        position)`` entries for fault-free prefill reuse (never pickled
+        to workers — each worker rebuilds its own lazily)."""
         self._metric_baseline_memo: dict[tuple[str, int], float] = {}
 
     # -- stable trial identity ---------------------------------------------------
@@ -410,10 +441,11 @@ class FICampaign:
         """Result-determining configuration, hashed into checkpoints.
 
         Perf knobs (``prefill_cache``, ``mc_scoring``,
-        ``decode_strategy``, ``decode_batch_size``) are excluded on
-        purpose: they cannot change TrialRecords (the differential
-        suite holds them to that), so a journal written under one
-        execution strategy may be resumed under another.
+        ``decode_strategy``, ``decode_batch_size``, ``draft_model``,
+        ``speculation_depth``) are excluded on purpose: they cannot
+        change TrialRecords (the differential suite holds them to
+        that), so a journal written under one execution strategy may be
+        resumed under another.
         """
         return {
             "task": self.task_name,
@@ -458,6 +490,8 @@ class FICampaign:
             self.generation,
             session=session,
             strategy=self.decode_strategy,
+            draft=self.draft_model,
+            speculation_depth=self.speculation_depth,
         )
         return self.tokenizer.decode(ids)
 
@@ -478,15 +512,31 @@ class FICampaign:
             and not self.track_expert_selection
             and self.decode_strategy == "auto"
         ):
-            # Fault-free sweep: nothing is armed, so the continuous
-            # batcher decodes all examples together (it still falls
-            # back to the serial reference path if anything is).
-            decoder = BatchedDecoder(
-                self.engine, self.generation, max_batch=self.decode_batch_size
-            )
             prompts = [self.tokenizer.encode(ex.prompt) for ex in self.examples]
-            preds = [self.tokenizer.decode(ids) for ids in
-                     decoder.generate_many(prompts)]
+            if self.draft_model is not None and self.generation.num_beams == 1:
+                # Fault-free greedy sweep with a draft available: this
+                # is the dominant campaign cost, so speculate (the
+                # decoder still falls back to serial if anything is
+                # armed).
+                spec = SpeculativeDecoder(
+                    self.engine,
+                    self.draft_model,
+                    self.generation,
+                    speculation_depth=self.speculation_depth,
+                )
+                preds = [
+                    self.tokenizer.decode(spec.decode_one(p)) for p in prompts
+                ]
+            else:
+                # Fault-free sweep: nothing is armed, so the continuous
+                # batcher decodes all examples together (it still falls
+                # back to the serial reference path if anything is).
+                decoder = BatchedDecoder(
+                    self.engine, self.generation,
+                    max_batch=self.decode_batch_size,
+                )
+                preds = [self.tokenizer.decode(ids) for ids in
+                         decoder.generate_many(prompts)]
             selections: list = [None] * len(preds)
         else:
             preds = []
@@ -561,7 +611,7 @@ class FICampaign:
         return record
 
     def _cached_prefill(self, site: FaultSite, idx: int, ex) -> "object | None":
-        """A clone of the example's fault-free prefilled session, when safe.
+        """The example's fault-free prefilled session, rewound, when safe.
 
         Safe exactly when the trial's iteration-0 forward is guaranteed
         bit-identical to the baseline's: a computational fault timed at
@@ -569,6 +619,13 @@ class FICampaign:
         weights the prefill reads, iteration-0 faults strike the prefill
         itself, and expert-selection tracking must capture the prefill's
         routing — all of those re-prefill.
+
+        One session per example is kept and *rewound in place* between
+        trials via :meth:`KVCache.restore` — a bounded prefix write
+        into the session's existing K/V buffers — instead of the old
+        ``fork()``, which allocated fresh full-``max_seq`` buffers for
+        every trial.  The snapshot bytes are exactly the prefill's, so
+        a rewound trial is bit-identical to a freshly prefilled one.
         """
         if (
             not self.prefill_cache
@@ -578,12 +635,26 @@ class FICampaign:
             or site.iteration == 0
         ):
             return None
-        base = self._prefill_sessions.get(idx)
-        if base is None:
+        entry = self._prefill_sessions.get(idx)
+        if entry is None:
             prompt = self.tokenizer.encode(ex.prompt)
             base = self.engine.start_session(prompt)
-            self._prefill_sessions[idx] = base
-        return base.fork()
+            self._prefill_sessions[idx] = (
+                base,
+                [cache.snapshot() for cache in base.caches],
+                base.last_logits.copy(),
+                base.position,
+            )
+            # Fresh prefill is already in the pristine state; the next
+            # trial for this example rewinds from the snapshots.
+            return base
+        session, snaps, logits, position = entry
+        for cache, snap in zip(session.caches, snaps):
+            cache.restore(snap)
+        session.iteration = 0
+        session.position = position
+        session.last_logits = logits.copy()
+        return session
 
     def _run_trial_impl(self, trial: int, attempt: int = 0) -> TrialRecord:
         if self.chaos is not None:
@@ -890,26 +961,43 @@ class FICampaign:
         trials = [results[t] for t in range(n_trials)]
         return self._aggregate(trials)
 
-    def _pool_initargs(self, tel) -> tuple:
-        """Pickle-safe worker-initializer arguments (engine rebuilt there)."""
-        # Prefilled sessions hold engine references and KV buffers —
-        # workers rebuild their own lazily instead of unpickling ours.
-        state = {
-            k: v
-            for k, v in self.__dict__.items()
-            if k not in ("engine", "_prefill_sessions")
-        }
-        store = ParamStore(
-            self.engine.config,
+    @staticmethod
+    def _export_store(engine: InferenceEngine) -> ParamStore:
+        """A pickle-safe copy of an engine's parameters."""
+        return ParamStore(
+            engine.config,
             {
                 **{
                     f"{name}.weight": ws.array.copy()
-                    for name, ws in self.engine._stores.items()
+                    for name, ws in engine._stores.items()
                 },
-                **self.engine._plain,
+                **engine._plain,
             },
         )
-        return store, self.engine.weight_policy, state, tel.active
+
+    def _pool_initargs(self, tel) -> tuple:
+        """Pickle-safe worker-initializer arguments (engines rebuilt there)."""
+        # Prefilled sessions hold engine references and KV buffers —
+        # workers rebuild their own lazily instead of unpickling ours.
+        # Engines (target and draft) travel as exported parameter
+        # stores for the same reason.
+        state = {
+            k: v
+            for k, v in self.__dict__.items()
+            if k not in ("engine", "draft_model", "_prefill_sessions")
+        }
+        draft_store = draft_policy = None
+        if self.draft_model is not None:
+            draft_store = self._export_store(self.draft_model)
+            draft_policy = self.draft_model.weight_policy
+        return (
+            self._export_store(self.engine),
+            self.engine.weight_policy,
+            state,
+            tel.active,
+            draft_store,
+            draft_policy,
+        )
 
     def _run_supervised_pool(
         self,

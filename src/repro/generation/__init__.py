@@ -1,5 +1,5 @@
 """Decoding strategies: greedy / beam search / option scoring /
-continuous batching."""
+continuous batching / speculative draft-and-verify."""
 
 from repro.generation.batched import BatchedDecoder, decode_batching_safe
 from repro.generation.decode import (
@@ -11,13 +11,19 @@ from repro.generation.decode import (
     score_continuation,
     score_options,
 )
+from repro.generation.speculative import (
+    SpeculativeDecoder,
+    decode_speculation_safe,
+)
 
 __all__ = [
     "BatchedDecoder",
     "GenerationConfig",
+    "SpeculativeDecoder",
     "beam_search_decode",
     "choose_option",
     "decode_batching_safe",
+    "decode_speculation_safe",
     "generate_ids",
     "greedy_decode",
     "score_continuation",

@@ -50,19 +50,35 @@ class GenerationConfig:
             raise ValueError("num_beams must be >= 1")
 
 
-def _resolve_decode_strategy(engine: InferenceEngine, strategy: str) -> str:
+def _resolve_decode_strategy(
+    engine: InferenceEngine,
+    strategy: str,
+    draft: InferenceEngine | None = None,
+) -> str:
     """Map ``auto`` to the fastest decode path that cannot change results.
 
-    ``auto`` routes through the batched decoder (single decode code
-    path, pooled caches) whenever batching is FI-safe — nothing armed,
-    or only row-scoped fault hooks — and falls back to the serial
-    reference loop otherwise, mirroring the option-scoring gate.
+    ``auto`` prefers speculative decoding when a draft engine is
+    supplied and speculation is FI-safe (both engines pristine — see
+    :func:`~repro.generation.speculative.decode_speculation_safe`),
+    then the batched decoder whenever batching is FI-safe — nothing
+    armed, or only row-scoped fault hooks — and falls back to the
+    serial reference loop otherwise, mirroring the option-scoring gate.
+    Explicit ``speculative`` requires a draft engine.
     """
     if strategy == "auto":
+        if draft is not None:
+            from repro.generation.speculative import decode_speculation_safe
+
+            if decode_speculation_safe(engine, draft):
+                return "speculative"
         from repro.generation.batched import decode_batching_safe
 
         return "batched" if decode_batching_safe(engine) else "serial"
-    if strategy not in ("serial", "batched"):
+    if strategy == "speculative" and draft is None:
+        raise ValueError(
+            "strategy='speculative' requires a draft engine"
+        )
+    if strategy not in ("serial", "batched", "speculative"):
         raise ValueError(f"unknown decode strategy {strategy!r}")
     return strategy
 
@@ -73,6 +89,8 @@ def greedy_decode(
     config: GenerationConfig,
     session: Session | None = None,
     strategy: str = "auto",
+    draft: InferenceEngine | None = None,
+    speculation_depth: int = 4,
 ) -> list[int]:
     """Argmax decoding; returns generated ids (without the prompt/EOS).
 
@@ -83,10 +101,21 @@ def greedy_decode(
     ``strategy`` selects the implementation: ``serial`` is the original
     per-token reference loop below; ``batched`` runs the same decode as
     a width-1 batch through :class:`~repro.generation.batched.BatchedDecoder`
-    (bit-identical by construction); ``auto`` picks ``batched`` unless
-    fault machinery demands the serial path.
+    (bit-identical by construction); ``speculative`` drafts
+    ``speculation_depth`` tokens per round with ``draft`` and verifies
+    them in one chunked target forward
+    (:class:`~repro.generation.speculative.SpeculativeDecoder`);
+    ``auto`` picks ``speculative`` when a safe draft is available, then
+    ``batched``, unless fault machinery demands the serial path.
     """
-    if _resolve_decode_strategy(engine, strategy) == "batched":
+    resolved = _resolve_decode_strategy(engine, strategy, draft=draft)
+    if resolved == "speculative":
+        from repro.generation.speculative import SpeculativeDecoder
+
+        return SpeculativeDecoder(
+            engine, draft, config, speculation_depth=speculation_depth
+        ).decode_one(prompt_ids, session=session)
+    if resolved == "batched":
         from repro.generation.batched import BatchedDecoder
 
         return BatchedDecoder(engine, config, max_batch=1).decode_one(
@@ -212,6 +241,8 @@ def generate_ids(
     config: GenerationConfig,
     session: Session | None = None,
     strategy: str = "auto",
+    draft: InferenceEngine | None = None,
+    speculation_depth: int = 4,
 ) -> list[int]:
     """Dispatch to greedy or beam decoding based on ``num_beams``.
 
@@ -219,13 +250,22 @@ def generate_ids(
     ``prompt_ids`` (it is consumed); campaigns pass clones of a cached
     fault-free prefill here to skip redundant prompt forwards.
     ``strategy`` is forwarded to the decoder (``auto``/``batched``/
-    ``serial``, see :func:`greedy_decode`).
+    ``serial``/``speculative``, see :func:`greedy_decode`).  ``draft``
+    and ``speculation_depth`` enable draft-and-verify greedy decoding;
+    beam search ignores the draft (speculation is greedy-only).
     """
-    decode = greedy_decode if config.num_beams == 1 else beam_search_decode
+    if config.num_beams == 1:
+        def decode(**kw):
+            return greedy_decode(
+                engine, prompt_ids, config,
+                draft=draft, speculation_depth=speculation_depth, **kw,
+            )
+    else:
+        def decode(**kw):
+            return beam_search_decode(engine, prompt_ids, config, **kw)
     tel = _telemetry()
     if not tel.active:
-        return decode(engine, prompt_ids, config, session=session,
-                      strategy=strategy)
+        return decode(session=session, strategy=strategy)
     t0 = time.perf_counter()
     with tel.span(
         "decode.generate",
@@ -234,8 +274,7 @@ def generate_ids(
         prefilled=session is not None,
         strategy=strategy,
     ) as span:
-        out = decode(engine, prompt_ids, config, session=session,
-                     strategy=strategy)
+        out = decode(session=session, strategy=strategy)
         span.set(new_tokens=len(out))
     elapsed_ms = (time.perf_counter() - t0) * 1e3
     metrics = tel.metrics

@@ -59,9 +59,14 @@ class HookManager:
     def __init__(self) -> None:
         self._hooks: dict[str, list[HookFn]] = {}
         self._unscoped = 0
+        self._perturbing = 0
 
     def register(
-        self, layer_name: str, fn: HookFn, row_scoped: bool = False
+        self,
+        layer_name: str,
+        fn: HookFn,
+        row_scoped: bool = False,
+        observer: bool = False,
     ) -> Callable[[], None]:
         """Attach ``fn`` to a layer; returns a detach handle.
 
@@ -72,10 +77,21 @@ class HookManager:
         while *every* registered hook makes this promise
         (:meth:`all_row_scoped`); an unscoped hook forces the serial
         fallback.
+
+        ``observer=True`` makes the stronger promise that the hook
+        never alters the tensor at all (no mutation, always returns
+        ``None``) — a pure probe such as layer timing.  Fast paths
+        that reshuffle the iteration → forward mapping (speculative
+        decoding) stay enabled only while every hook is an observer
+        (:meth:`all_observers`); anything that perturbs outputs keys
+        on which forward it fires in, so it forces the exact serial
+        loop.
         """
         self._hooks.setdefault(layer_name, []).append(fn)
         if not row_scoped:
             self._unscoped += 1
+        if not observer:
+            self._perturbing += 1
         removed = False
 
         def remove() -> None:
@@ -85,8 +101,11 @@ class HookManager:
                 callbacks.remove(fn)
                 if not callbacks:
                     del self._hooks[layer_name]
-                if not row_scoped and not removed:
-                    self._unscoped -= 1
+                if not removed:
+                    if not row_scoped:
+                        self._unscoped -= 1
+                    if not observer:
+                        self._perturbing -= 1
                 removed = True
 
         return remove
@@ -94,10 +113,15 @@ class HookManager:
     def clear(self) -> None:
         self._hooks.clear()
         self._unscoped = 0
+        self._perturbing = 0
 
     def all_row_scoped(self) -> bool:
         """True when every registered hook declared row-scoped effects."""
         return self._unscoped == 0
+
+    def all_observers(self) -> bool:
+        """True when every registered hook declared itself a pure probe."""
+        return self._perturbing == 0
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._hooks.values())

@@ -73,11 +73,23 @@ class KVCache:
         return self.keys().copy(), self.values().copy(), self.length
 
     def restore(self, snap: tuple[np.ndarray, np.ndarray, int]) -> None:
-        """Rewind to a :meth:`snapshot`, reusing the existing buffers."""
+        """Rewind to a :meth:`snapshot`, reusing the existing buffers.
+
+        In-place prefix write — never reallocates ``k``/``v`` (which
+        would detach pooled :class:`_SlotView` rows from their arena),
+        so speculation rollback and beam inner loops can restore per
+        round at slice-copy cost.  The snapshot must fit the buffers:
+        same head/dim geometry, ``length <= max_seq``.
+        """
         k, v, length = snap
         if length > self.max_seq:
             raise ValueError(
                 f"snapshot length {length} exceeds cache capacity {self.max_seq}"
+            )
+        if k.shape[0] != self.k.shape[0] or k.shape[2] != self.k.shape[2]:
+            raise ValueError(
+                f"snapshot geometry {k.shape} does not match cache buffers"
+                f" {self.k.shape}"
             )
         self.k[:, :length] = k
         self.v[:, :length] = v

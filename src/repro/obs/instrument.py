@@ -39,12 +39,13 @@ def attach_layer_timing(engine, telemetry=None) -> Callable[[], None]:
         state["last"] = now
         return None
 
-    # Row-scoped: a pure observer is safe to apply per batch row, so
-    # traced runs keep continuous-batched decoding.  Under a batched
-    # step the first row's delta carries the layer cost and later rows
-    # observe ~0; the deltas still tile the forward pass.
+    # Row-scoped + observer: a pure probe is safe to apply per batch
+    # row (traced runs keep continuous-batched decoding) and never
+    # perturbs outputs (traced runs keep speculative decoding).  Under
+    # a batched step the first row's delta carries the layer cost and
+    # later rows observe ~0; the deltas still tile the forward pass.
     handles = [
-        engine.hooks.register(name, timing_hook, row_scoped=True)
+        engine.hooks.register(name, timing_hook, row_scoped=True, observer=True)
         for name in engine.linear_layer_names()
     ]
 

@@ -9,7 +9,7 @@ from repro.zoo.build import (
     default_world,
     load_model,
 )
-from repro.zoo.registry import ZOO, ZooSpec, get_spec, zoo_names
+from repro.zoo.registry import ZOO, ZooSpec, draft_for, get_spec, zoo_names
 
 __all__ = [
     "WORLD_SEED",
@@ -20,6 +20,7 @@ __all__ = [
     "cache_path",
     "default_tokenizer",
     "default_world",
+    "draft_for",
     "get_spec",
     "load_model",
     "zoo_names",

@@ -65,9 +65,14 @@ def default_tokenizer(world: World | None = None) -> Tokenizer:
 
 
 def _spec_hash(spec: ZooSpec, vocab_size: int) -> str:
+    spec_payload = asdict(spec)
+    # Pairing metadata cannot change trained weights, so it must not
+    # change the cache key (adding a draft_of pairing would otherwise
+    # invalidate every cached build of that model).
+    spec_payload.pop("draft_of", None)
     payload = json.dumps(
         {
-            "spec": asdict(spec),
+            "spec": spec_payload,
             "vocab": vocab_size,
             "world": WORLD_SEED,
             "corpus": CORPUS_VERSION,

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from repro.model.config import ModelConfig
 from repro.training.trainer import TrainConfig
 
-__all__ = ["ZooSpec", "ZOO", "zoo_names", "get_spec"]
+__all__ = ["ZooSpec", "ZOO", "zoo_names", "get_spec", "draft_for"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,11 @@ class ZooSpec:
     base: str | None = None
     """Zoo name of the model this one is fine-tuned from."""
     corpus_docs: int = 9000
+    draft_of: str | None = None
+    """Zoo name of the larger model this one drafts for in speculative
+    decoding (same tokenizer/family, fraction of the parameters).
+    Pairing metadata only — it does not affect how the model is built,
+    and is excluded from the weight-cache hash for that reason."""
 
     def model_config(self, vocab_size: int, max_seq: int = 160) -> ModelConfig:
         return ModelConfig(
@@ -106,7 +111,7 @@ _SPECS = [
     ZooSpec(
         name="qwenlike-tiny", family="qwenlike",
         d_model=32, n_heads=4, n_blocks=3, d_ff=64,
-        init_seed=11, steps=1400,
+        init_seed=11, steps=1400, draft_of="qwenlike-base",
     ),
     ZooSpec(
         name="qwenlike-small", family="qwenlike",
@@ -163,3 +168,17 @@ def get_spec(name: str) -> ZooSpec:
         return ZOO[name]
     except KeyError as exc:
         raise KeyError(f"unknown zoo model {name!r}; known: {zoo_names()}") from exc
+
+
+def draft_for(name: str) -> ZooSpec | None:
+    """The registered draft model for ``name``, if any.
+
+    Resolves the ``draft_of`` pairing in reverse: given a target zoo
+    model, return the spec of the (unique) small model registered to
+    draft for it, or ``None`` when no pairing exists.
+    """
+    get_spec(name)  # validate the target exists
+    for spec in ZOO.values():
+        if spec.draft_of == name:
+            return spec
+    return None

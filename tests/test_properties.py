@@ -181,6 +181,43 @@ def test_property_kvcache_tracks_reference_model(ops, seed):
 
 @settings(max_examples=40, deadline=None)
 @given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=5),  # chunk size (gamma+1)
+            st.integers(min_value=0, max_value=5),  # accepted proposals
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_speculative_rollback_roundtrip(rounds, seed):
+    """Multi-token append -> truncate -> re-append, the exact sequence
+    speculative verification performs each round: the accepted prefix
+    is byte-stable across any number of rounds, and rolled-back K/V
+    never leak into later reads."""
+    rng = np.random.default_rng(seed)
+    cache = KVCache(2, 64, 4)
+    ref_k = np.zeros((2, 0, 4), dtype=np.float32)
+    ref_v = np.zeros((2, 0, 4), dtype=np.float32)
+    for chunk_t, accepted in rounds:
+        accepted = min(accepted, chunk_t - 1)
+        if cache.length + chunk_t > cache.max_seq:
+            break
+        base = cache.length
+        k = rng.normal(size=(2, chunk_t, 4)).astype(np.float32)
+        v = rng.normal(size=(2, chunk_t, 4)).astype(np.float32)
+        cache.append(k, v)  # verify chunk: pending token + proposals
+        cache.truncate(base + 1 + accepted)  # reject the tail
+        ref_k = np.concatenate([ref_k, k[:, : 1 + accepted]], axis=1)
+        ref_v = np.concatenate([ref_v, v[:, : 1 + accepted]], axis=1)
+        assert cache.length == ref_k.shape[1]
+        np.testing.assert_array_equal(cache.keys(), ref_k)
+        np.testing.assert_array_equal(cache.values(), ref_v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
     st.lists(st.integers(min_value=0, max_value=99), max_size=30),
     st.integers(min_value=0, max_value=2**31 - 1),
 )
