@@ -1,0 +1,123 @@
+"""Validate committed ``BENCH_*.json`` benchmark artifacts.
+
+Bench payloads are written by ``benchmarks/conftest.py`` (repo root +
+``artifacts/results/`` copies).  They are committed, so a refactor of
+the bench harness — or a hand edit — can silently drift their shape
+until a downstream reader breaks.  This checker pins the contract:
+
+* strict JSON object with a string ``bench_id`` matching the filename
+  (``BENCH_<bench_id>.json``);
+* an embedded provenance ``manifest`` that passes the telemetry
+  schema check (``kind="manifest"``, current ``schema_version``,
+  ``config_hash``, package versions);
+* at least one finite numeric measurement outside the manifest.
+
+Exit status is non-zero on any violation; CI runs this in the tier-1
+job.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench.py [FILE ...]
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+from repro.obs.manifest import SchemaMismatchError, check_schema
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def find_bench_files() -> list[Path]:
+    """Every committed bench artifact (repo root + artifacts/results)."""
+    return sorted(REPO_ROOT.glob("BENCH_*.json")) + sorted(
+        (REPO_ROOT / "artifacts" / "results").glob("BENCH_*.json")
+    )
+
+
+def _has_finite_number(value) -> bool:
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float)):
+        return math.isfinite(value)
+    if isinstance(value, dict):
+        return any(_has_finite_number(v) for v in value.values())
+    if isinstance(value, list):
+        return any(_has_finite_number(v) for v in value)
+    return False
+
+
+def check_bench_file(path: Path) -> list[str]:
+    """Validate one artifact; returns a list of problems (empty = ok)."""
+    problems = []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return [f"top level must be a JSON object, got {type(payload).__name__}"]
+    bench_id = payload.get("bench_id")
+    if not isinstance(bench_id, str) or not bench_id:
+        problems.append("missing or non-string 'bench_id'")
+    elif path.name != f"BENCH_{bench_id}.json":
+        problems.append(
+            f"filename does not match bench_id: expected"
+            f" BENCH_{bench_id}.json, found {path.name}"
+        )
+    manifest = payload.get("manifest")
+    if not isinstance(manifest, dict):
+        problems.append("missing or non-object 'manifest'")
+    else:
+        try:
+            check_schema(manifest, path)
+        except (ValueError, SchemaMismatchError) as exc:
+            problems.append(f"manifest fails schema check: {exc}")
+        if manifest.get("kind") != "manifest":
+            problems.append(
+                f"manifest 'kind' must be 'manifest',"
+                f" got {manifest.get('kind')!r}"
+            )
+        for key in ("config_hash", "git_rev", "packages"):
+            if key not in manifest:
+                problems.append(f"manifest missing '{key}'")
+    measurements = {
+        k: v for k, v in payload.items() if k not in ("manifest", "bench_id")
+    }
+    if not _has_finite_number(measurements):
+        problems.append("no finite numeric measurement outside the manifest")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    paths = [Path(p) for p in args] or find_bench_files()
+    if not paths:
+        print("check_bench: no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        problems = check_bench_file(path)
+        try:
+            rel = path.relative_to(REPO_ROOT)
+        except ValueError:
+            rel = path
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"FAIL {rel}: {problem}", file=sys.stderr)
+        else:
+            print(f"ok   {rel}")
+    if failures:
+        print(f"check_bench: {failures}/{len(paths)} artifacts invalid",
+              file=sys.stderr)
+        return 1
+    print(f"check_bench: {len(paths)} artifacts valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,9 +6,15 @@ Used by CI (and handy locally) to prove the full observability path —
 engine per-layer timing, decode metrics, campaign trial spans, worker
 merge, manifest, reporter — without depending on cached zoo artifacts.
 
+``--flight`` additionally arms the per-trial flight recorder and
+asserts one forensic record per trial lands in the exported run — the
+input for ``repro obs explain`` / ``repro obs export-trace`` in the CI
+forensics job.
+
 Usage::
 
-    PYTHONPATH=src python scripts/smoke_campaign.py [out.jsonl] [--workers N]
+    PYTHONPATH=src python scripts/smoke_campaign.py [out.jsonl] \
+        [--workers N] [--flight]
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from repro.fi import FaultModel, FICampaign
 from repro.generation import GenerationConfig
 from repro.inference import InferenceEngine
 from repro.model import ModelConfig, TransformerLM
-from repro.obs import report_path, telemetry
+from repro.obs import flight_recorder, report_path, telemetry
 from repro.tasks import TranslationTask, World, all_tasks, standardized_subset
 from repro.training import (
     TrainConfig,
@@ -40,6 +46,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("out", nargs="?", default=None, help="run JSONL path")
     parser.add_argument("--trials", type=int, default=12)
     parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument(
+        "--flight",
+        action="store_true",
+        help="arm the per-trial flight recorder and assert its records",
+    )
     args = parser.parse_args(argv)
     out = Path(
         args.out or Path(tempfile.gettempdir()) / "repro_smoke_run.jsonl"
@@ -85,11 +96,18 @@ def main(argv: list[str] | None = None) -> int:
             eos_id=tokenizer.vocab.eos_id,
         ),
     )
+    recorder = flight_recorder()
+    if args.flight:
+        recorder.reset()
+        recorder.arm()
     result = campaign.run(args.trials, n_workers=args.workers)
+    flight_records = recorder.drain() if args.flight else []
+    recorder.disarm()
     tel.flush(
         seed=11,
         config={"task": task.name, "trials": args.trials, "smoke": True},
         command="smoke-campaign",
+        extra_records=flight_records,
     )
     print(report_path(out))
 
@@ -106,6 +124,20 @@ def main(argv: list[str] | None = None) -> int:
     assert any(
         name.startswith("campaign.outcome.") for name in counters
     ), "outcome tallies missing"
+    if args.flight:
+        assert len(flight_records) == args.trials, (
+            f"expected {args.trials} flight records,"
+            f" got {len(flight_records)}"
+        )
+        assert all(r.get("front") for r in flight_records), (
+            "flight records missing corruption fronts"
+        )
+        print(
+            f"flight: {len(flight_records)} records"
+            f" ({sum(1 for r in flight_records if r['outcome'] != 'masked')}"
+            " non-masked)",
+            file=sys.stderr,
+        )
     print(f"\nsmoke ok: {out}", file=sys.stderr)
     return 0
 

@@ -20,8 +20,16 @@ Commands
     trials keep the exact serial path).
 ``experiment ID [...]``
     Reproduce one paper table/figure (e.g. ``fig17``, ``table2``).
-``obs report RUN.jsonl``
-    Summarize a telemetry run written by ``--trace``/``--metrics-out``.
+``obs report RUN.jsonl [RUN2.jsonl ...]``
+    Summarize telemetry runs written by ``--trace``/``--metrics-out``;
+    several runs add a side-by-side counter/histogram diff.
+``obs explain RUN.jsonl [TRIAL]``
+    Render a trial's fault-propagation story from a flight-recorded
+    run (``campaign --flight``).
+``obs export-trace RUN.jsonl [-o trace.json]``
+    Convert a run to Chrome trace-event JSON (Perfetto-loadable).
+``obs watch CHECKPOINT.jsonl``
+    Live progress view over a running campaign's trial journal.
 
 The run commands (``build``/``eval``/``campaign``/``experiment``) accept
 ``--trace`` to record spans and metrics and ``--metrics-out PATH`` to
@@ -154,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="retries before a crashing trial is quarantined as FAILED",
     )
+    campaign.add_argument(
+        "--flight",
+        action="store_true",
+        help="arm the per-trial flight recorder (forensic propagation"
+        " records in the telemetry run; implies --trace)",
+    )
     _add_obs_flags(campaign)
 
     experiment = sub.add_parser(
@@ -170,7 +184,61 @@ def build_parser() -> argparse.ArgumentParser:
     report = obs_sub.add_parser(
         "report", help="summarize a telemetry run JSONL"
     )
-    report.add_argument("paths", nargs="+", help="run files to summarize")
+    report.add_argument(
+        "paths",
+        nargs="+",
+        help="run files to summarize (several: adds a side-by-side diff)",
+    )
+    explain = obs_sub.add_parser(
+        "explain",
+        help="render one trial's fault-propagation story from a"
+        " flight-recorded run",
+    )
+    explain.add_argument("run", help="telemetry run JSONL (campaign --flight)")
+    explain.add_argument(
+        "trial",
+        nargs="?",
+        type=int,
+        default=None,
+        help="trial index (omit to list all recorded trials)",
+    )
+    export_trace = obs_sub.add_parser(
+        "export-trace",
+        help="convert a telemetry run to Chrome trace-event JSON"
+        " (chrome://tracing / Perfetto)",
+    )
+    export_trace.add_argument("run", help="telemetry run JSONL")
+    export_trace.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="output path (default: <run>.trace.json)",
+    )
+    watch = obs_sub.add_parser(
+        "watch",
+        help="live progress view over a running campaign's checkpoint"
+        " journal",
+    )
+    watch.add_argument("journal", help="campaign --checkpoint JSONL path")
+    watch.add_argument(
+        "--interval", type=float, default=1.0, help="poll period in seconds"
+    )
+    watch.add_argument(
+        "--total",
+        type=int,
+        default=None,
+        help="expected trial count (default: the journal header's)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render one snapshot and exit (scripting/CI)",
+    )
+    watch.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append snapshots instead of clearing the screen",
+    )
     return parser
 
 
@@ -180,7 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _telemetry_start(args: argparse.Namespace) -> None:
-    if not (getattr(args, "trace", False) or getattr(args, "metrics_out", None)):
+    flight = getattr(args, "flight", False)
+    if not (
+        getattr(args, "trace", False)
+        or getattr(args, "metrics_out", None)
+        or flight
+    ):
         return
     from repro.obs import enable
     from repro.zoo import artifacts_dir
@@ -189,10 +262,15 @@ def _telemetry_start(args: argparse.Namespace) -> None:
         artifacts_dir() / "runs" / f"{args.command}.jsonl"
     )
     enable(Path(out))
+    if flight:
+        from repro.obs.flight import flight_recorder
+
+        flight_recorder().arm()
 
 
 def _telemetry_finish(args: argparse.Namespace) -> None:
     from repro.obs import telemetry
+    from repro.obs.flight import flight_recorder
 
     tel = telemetry()
     if not tel.active:
@@ -202,11 +280,15 @@ def _telemetry_finish(args: argparse.Namespace) -> None:
         for k, v in vars(args).items()
         if k not in ("trace", "metrics_out") and not callable(v)
     }
+    recorder = flight_recorder()
+    flight_records = recorder.drain() if recorder.active else []
     path = tel.flush(
         seed=getattr(args, "seed", None),
         config=config,
         command=args.command,
+        extra_records=flight_records,
     )
+    recorder.disarm()
     tel.disable()
     if path is not None:
         print(f"telemetry: {path}", file=sys.stderr)
@@ -214,6 +296,12 @@ def _telemetry_finish(args: argparse.Namespace) -> None:
             f"telemetry: summarize with `python -m repro obs report {path}`",
             file=sys.stderr,
         )
+        if flight_records:
+            print(
+                f"telemetry: {len(flight_records)} flight records —"
+                f" inspect with `python -m repro obs explain {path}`",
+                file=sys.stderr,
+            )
 
 
 def _cmd_list_models() -> int:
@@ -344,10 +432,29 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs.report import main as report_main
-
     if args.obs_command == "report":
+        from repro.obs.report import main as report_main
+
         return report_main(args.paths)
+    if args.obs_command == "explain":
+        from repro.obs.flight import main as explain_main
+
+        argv = [args.run] + ([str(args.trial)] if args.trial is not None else [])
+        return explain_main(argv)
+    if args.obs_command == "export-trace":
+        from repro.obs.traceview import main as trace_main
+
+        return trace_main(args.run, args.out)
+    if args.obs_command == "watch":
+        from repro.obs.watch import main as watch_main
+
+        return watch_main(
+            args.journal,
+            interval=args.interval,
+            total=args.total,
+            once=args.once,
+            no_clear=args.no_clear,
+        )
     raise AssertionError(f"unhandled obs command {args.obs_command}")
 
 

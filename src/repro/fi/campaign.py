@@ -49,7 +49,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.fi.checkpoint import CampaignCheckpoint
+from repro.fi.checkpoint import CampaignCheckpoint, site_to_dict
 from repro.fi.fault_models import FaultModel
 from repro.fi.injector import inject
 from repro.fi.outcomes import Outcome, classify_direct_answer, classify_generative
@@ -60,7 +60,9 @@ from repro.generation.speculative import SpeculativeDecoder
 from repro.inference.engine import CaptureState, InferenceEngine
 from repro.metrics.evaluate import score_generative
 from repro.model.params import ParamStore
+from repro.obs.flight import flight_recorder as _flight
 from repro.obs.instrument import attach_layer_timing
+from repro.obs.manifest import config_hash
 from repro.obs.runtime import telemetry as _telemetry
 from repro.obs.trace import SpanRecord
 from repro.numerics.stats import (
@@ -261,6 +263,7 @@ def _worker_init(
     telemetry_active: bool = False,
     draft_store: ParamStore | None = None,
     draft_policy: str | None = None,
+    flight_active: bool = False,
 ) -> None:
     campaign = FICampaign.__new__(FICampaign)
     campaign.__dict__.update(campaign_state)
@@ -286,6 +289,12 @@ def _worker_init(
         tel.reset()
         tel.enable()
         attach_layer_timing(campaign.engine, tel)
+    if flight_active:
+        # The flight recorder is likewise per-process: each worker arms
+        # its own and ships drained records back with the result.
+        recorder = _flight()
+        recorder.reset()
+        recorder.arm()
 
 
 def _worker_run_one(args: tuple[int, int]) -> tuple[TrialRecord, dict | None]:
@@ -293,23 +302,34 @@ def _worker_run_one(args: tuple[int, int]) -> tuple[TrialRecord, dict | None]:
     trial, attempt = args
     campaign: FICampaign = _WORKER["campaign"]
     tel = _telemetry()
+    recorder = _flight()
     if tel.active:
         # Drop residue from a previously failed attempt on this worker.
         tel.tracer.reset()
         tel.metrics.reset()
+    if recorder.active:
+        recorder.reset()
     try:
         record = campaign._run_trial(trial, attempt)
     except Exception:
         campaign._post_failure_repair()
         raise
-    if not tel.active:
+    if not tel.active and not recorder.active:
         return record, None
-    payload = {
-        "spans": [span.to_dict() for span in tel.tracer.records],
-        "metrics": tel.metrics.snapshot(),
+    payload: dict = {
+        # Clock anchor pairing this worker's perf_counter epoch with
+        # wall time, so the parent can rebase span starts onto its own
+        # monotonic timeline at adoption.
+        "clock": {"perf": time.perf_counter(), "unix": time.time()},
+        "pid": os.getpid(),
     }
-    tel.tracer.reset()
-    tel.metrics.reset()
+    if tel.active:
+        payload["spans"] = [span.to_dict() for span in tel.tracer.records]
+        payload["metrics"] = tel.metrics.snapshot()
+        tel.tracer.reset()
+        tel.metrics.reset()
+    if recorder.active:
+        payload["flight"] = recorder.drain()
     return record, payload
 
 
@@ -667,6 +687,11 @@ class FICampaign:
         if self.max_fault_iterations is not None:
             max_iter = min(max_iter, self.max_fault_iterations)
         site = self._trial_site(trial, max_iter)
+        recorder = _flight()
+        if recorder.active:
+            recorder.begin_trial(
+                trial, self.trial_key(trial), site_to_dict(site), idx
+            )
         session = self._cached_prefill(site, idx, ex)
         tel = _telemetry()
         if tel.active and not self.is_mc:
@@ -674,13 +699,25 @@ class FICampaign:
             tel.metrics.counter(f"engine.prefill_cache_{name}").add()
         if self.track_expert_selection:
             self.engine.capture = CaptureState()
+        detach_front = None
         try:
-            with inject(self.engine, site):
+            with inject(self.engine, site) as injector:
+                if recorder.active:
+                    # Probes register after the injector's hook, so the
+                    # struck layer's probe observes the post-injection
+                    # output; observer + row-scoped registration keeps
+                    # the batching/speculation gates exactly where a
+                    # recorder-off run has them.
+                    detach_front = recorder.attach_front(
+                        self.engine, site.iteration
+                    )
                 if self.is_mc:
                     pred_idx = self._eval_mc(ex)
                 else:
                     text = self._eval_gen(ex, session=session)
         finally:
+            if detach_front is not None:
+                detach_front()
             selections = self._capture_selections()
             self.engine.capture = None
 
@@ -689,7 +726,7 @@ class FICampaign:
         if self.is_mc:
             correct = pred_idx == ex.answer_index
             outcome = Outcome.MASKED if correct else Outcome.SDC_SUBTLE
-            return TrialRecord(
+            record = TrialRecord(
                 site=site,
                 example_index=idx,
                 prediction=str(pred_idx),
@@ -698,22 +735,103 @@ class FICampaign:
                 changed=pred_idx != base_pred,
                 selection_changed=self._selection_changed(idx, selections),
             )
-        trial_metrics = score_generative(self.metrics, [text], [ex])
-        if "accuracy" in self.metrics:
-            outcome = classify_direct_answer(
-                extract_final_answer(text), ex.meta.get("final_answer", ""), text
-            )
         else:
-            outcome = classify_generative(text, base_pred, ex.reference)
-        return TrialRecord(
-            site=site,
-            example_index=idx,
-            prediction=text,
-            outcome=outcome,
-            metrics=trial_metrics,
-            changed=text != base_pred,
-            selection_changed=self._selection_changed(idx, selections),
-        )
+            trial_metrics = score_generative(self.metrics, [text], [ex])
+            if "accuracy" in self.metrics:
+                outcome = classify_direct_answer(
+                    extract_final_answer(text),
+                    ex.meta.get("final_answer", ""),
+                    text,
+                )
+            else:
+                outcome = classify_generative(text, base_pred, ex.reference)
+            record = TrialRecord(
+                site=site,
+                example_index=idx,
+                prediction=text,
+                outcome=outcome,
+                metrics=trial_metrics,
+                changed=text != base_pred,
+                selection_changed=self._selection_changed(idx, selections),
+            )
+        if recorder.active:
+            reference = (
+                self._flight_reference(site, ex)
+                if recorder.has_front
+                else None
+            )
+            recorder.end_trial(
+                outcome=record.outcome.value,
+                prediction=record.prediction,
+                baseline=str(base_pred),
+                changed=record.changed,
+                fired=getattr(injector, "fired", True),
+                reference=reference,
+            )
+        return record
+
+    def _flight_reference(self, site: FaultSite, ex) -> dict | None:
+        """Fault-free layer outputs of the struck forward (flight replay).
+
+        The corruption front needs a pristine reference for exactly the
+        forward the fault struck.  Because greedy decoding is
+        deterministic and the injector is one-shot, the faulty run's
+        token prefix up to the strike iteration equals the baseline's —
+        so replaying serially (after the injector restored the weights)
+        reproduces the struck forward's inputs bit-exactly:
+
+        * MC trials score options at iteration 0, option 0 first, so
+          the struck forward is ``forward_full(prompt + options[0])``;
+        * memory faults and iteration-0 computational faults strike the
+          prompt forward — replay is ``forward_full(prompt)``;
+        * iteration-``k`` computational faults strike the ``k``-th
+          greedy decode step — replay prefills and re-greedy-decodes
+          ``k`` steps, capturing the last.
+
+        Beam-search trials return ``None`` (which hypothesis a replay
+        follows is not well-defined); so do strikes the faulty decode
+        never reached (baseline hit EOS first — the injector never
+        fired either).  The replay runs strictly *outside* the
+        injection context on restored weights: a pure post-hoc read
+        that cannot perturb trial results.
+        """
+        capture_before = self.engine.capture
+        self.engine.capture = None
+        try:
+            if self.is_mc:
+                prompt, options = self._encode_mc(ex)
+                return self._captured_forward([*prompt, *options[0]])
+            if self.generation.num_beams != 1:
+                return None
+            strike = (
+                site.iteration if site.fault_model.is_computational else 0
+            )
+            prompt = self.tokenizer.encode(ex.prompt)
+            if strike == 0:
+                return self._captured_forward(prompt)
+            session = self.engine.start_session(prompt)
+            logits = session.last_logits
+            for step in range(strike):
+                try:
+                    token = int(np.nanargmax(logits))
+                except ValueError:  # all-NaN logits (cannot happen fault-free)
+                    token = 0
+                if token == self.generation.eos_id:
+                    return None  # baseline ended before the strike
+                if step == strike - 1:
+                    self.engine.capture = CaptureState()
+                logits = session.step(token)
+            return dict(self.engine.capture.layer_outputs)
+        finally:
+            self.engine.capture = capture_before
+
+    def _captured_forward(self, ids: list[int]) -> dict:
+        """One fault-free full forward with per-layer output capture."""
+        self.engine.capture = CaptureState()
+        self.engine.forward_full(ids)
+        outputs = dict(self.engine.capture.layer_outputs)
+        self.engine.capture = None
+        return outputs
 
     # -- supervision -------------------------------------------------------------
 
@@ -728,6 +846,12 @@ class FICampaign:
         if len(self.engine.hooks):
             self.engine.hooks.clear()
         self.engine.capture = None
+        recorder = _flight()
+        if recorder.active:
+            # A crashed trial's partial forensic record would describe a
+            # run that never produced an outcome; drop it (a retry
+            # reopens the trial from scratch).
+            recorder.abort_trial()
 
     def _quarantine_record(self, trial: int, exc: BaseException) -> TrialRecord:
         """A ``FAILED`` placeholder for a deterministically crashing trial."""
@@ -884,6 +1008,7 @@ class FICampaign:
                 fault=self.fault_model.value,
                 trials=n_trials,
                 workers=n_workers,
+                campaign_hash=config_hash(self.fingerprint()),
             ):
                 return self._run(n_trials, n_workers, tel, sup, checkpoint, resume)
         finally:
@@ -933,7 +1058,10 @@ class FICampaign:
                 "campaign.checkpoint", path=str(checkpoint), resume=resume
             ) as span:
                 journal = CampaignCheckpoint(
-                    checkpoint, self.fingerprint(), resume=resume
+                    checkpoint,
+                    self.fingerprint(),
+                    resume=resume,
+                    n_trials=n_trials,
                 )
                 for trial, record in journal.completed.items():
                     if trial < n_trials:
@@ -997,6 +1125,7 @@ class FICampaign:
             tel.active,
             draft_store,
             draft_policy,
+            _flight().active,
         )
 
     def _run_supervised_pool(
@@ -1147,13 +1276,40 @@ class FICampaign:
                     proc.terminate()
             executor.shutdown(wait=True)
             pending = sorted(carry_over)
-        if tel.active:
+        recorder = _flight()
+        if tel.active or recorder.active:
             # Merge worker telemetry in trial order, so the merged
             # stream is deterministic regardless of which worker (or
             # pool generation) served which trial.
+            anchor_perf = time.perf_counter()
+            anchor_unix = time.time()
+            campaign_hash = config_hash(self.fingerprint())
             for trial in sorted(payloads):
                 payload = payloads[trial]
-                tel.metrics.merge(payload["metrics"])
-                tel.tracer.adopt(
-                    [SpanRecord.from_dict(d) for d in payload["spans"]]
-                )
+                if tel.active and "metrics" in payload:
+                    tel.metrics.merge(payload["metrics"])
+                if tel.active and "spans" in payload:
+                    spans = [
+                        SpanRecord.from_dict(d) for d in payload["spans"]
+                    ]
+                    clock = payload.get("clock")
+                    if clock is not None:
+                        # Rebase worker perf_counter starts onto the
+                        # parent's monotonic clock via each side's
+                        # (perf, wall) anchor pair, so stitched spans
+                        # share one campaign timeline.
+                        offset = (clock["unix"] - clock["perf"]) - (
+                            anchor_unix - anchor_perf
+                        )
+                        for span in spans:
+                            span.start += offset
+                    tel.tracer.adopt(
+                        spans,
+                        extra_attrs={
+                            "campaign_hash": campaign_hash,
+                            "trial": trial,
+                            "worker_pid": payload.get("pid"),
+                        },
+                    )
+                if recorder.active:
+                    recorder.adopt(payload.get("flight", []))

@@ -201,7 +201,11 @@ class CampaignCheckpoint:
     """
 
     def __init__(
-        self, path: str | Path, fingerprint: dict, resume: bool = False
+        self,
+        path: str | Path,
+        fingerprint: dict,
+        resume: bool = False,
+        n_trials: int | None = None,
     ) -> None:
         self.path = Path(path)
         self.fingerprint = fingerprint
@@ -220,15 +224,20 @@ class CampaignCheckpoint:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a", encoding="utf-8")
         if not exists:
-            self._append(
-                {
-                    "kind": "campaign-checkpoint",
-                    "schema_version": CHECKPOINT_SCHEMA_VERSION,
-                    "campaign": fingerprint,
-                    "campaign_hash": config_hash(fingerprint),
-                    "git_rev": git_revision(Path(__file__).resolve().parents[3]),
-                }
-            )
+            header = {
+                "kind": "campaign-checkpoint",
+                "schema_version": CHECKPOINT_SCHEMA_VERSION,
+                "campaign": fingerprint,
+                "campaign_hash": config_hash(fingerprint),
+                "git_rev": git_revision(Path(__file__).resolve().parents[3]),
+            }
+            if n_trials is not None:
+                # Advisory planned-trial count: live observers
+                # (``repro obs watch``) use it for progress/ETA.  It is
+                # not covered by the campaign hash — a resume may
+                # legitimately target a different total.
+                header["n_trials"] = int(n_trials)
+            self._append(header)
 
     def _append(self, record: dict) -> None:
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")

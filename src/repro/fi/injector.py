@@ -23,6 +23,7 @@ from repro.fi.sites import FaultSite
 from repro.inference.engine import InferenceEngine
 from repro.inference.hooks import HookContext
 from repro.numerics.formats import flip_value_bits
+from repro.obs.flight import flight_recorder as _flight
 
 __all__ = ["MemoryFaultInjector", "ComputationalFaultInjector", "inject"]
 
@@ -46,6 +47,17 @@ class MemoryFaultInjector:
         # (prefix caching, batched option scoring) disable themselves
         # while the weights are corrupted.
         self.engine.weight_fault_depth += 1
+        recorder = _flight()
+        if recorder.active:
+            recorder.event(
+                "inject.arm",
+                layer=self.site.layer_name,
+                row=self.site.row,
+                col=self.site.col,
+                bits=list(self.site.bits),
+                before=float(self._token.compute_value),
+                after=float(store.array[self.site.row, self.site.col]),
+            )
         return self
 
     def __exit__(self, *exc: object) -> None:
@@ -53,6 +65,9 @@ class MemoryFaultInjector:
             self.engine.weight_store(self.site.layer_name).restore(self._token)
             self._token = None
             self.engine.weight_fault_depth -= 1
+            recorder = _flight()
+            if recorder.active:
+                recorder.event("inject.restore", layer=self.site.layer_name)
 
 
 class ComputationalFaultInjector:
@@ -95,9 +110,23 @@ class ComputationalFaultInjector:
         flat = output if output.ndim == 2 else output.reshape(-1, output.shape[-1])
         row = min(int(self.site.row_frac * flat.shape[0]), flat.shape[0] - 1)
         col = self.site.col % flat.shape[1]
+        before = float(flat[row, col])
         flat[row, col] = flip_value_bits(
             flat[row, col], list(self.site.bits), self.engine.activation_format
         )
+        recorder = _flight()
+        if recorder.active:
+            recorder.event(
+                "inject.fire",
+                layer=ctx.full_name,
+                iteration=int(ctx.iteration),
+                batch_row=ctx.batch_row,
+                row=row,
+                col=col,
+                bits=list(self.site.bits),
+                before=before,
+                after=float(flat[row, col]),
+            )
         return output
 
     def __enter__(self) -> "ComputationalFaultInjector":

@@ -45,16 +45,25 @@ class LogitAnomalyDetector:
         """Inspect one step's logits; returns True when anomalous."""
         self.total_steps += 1
         if not np.isfinite(logits).all():
-            self.flagged_steps += 1
-            self.reasons.append("non-finite")
+            self._flag("non-finite")
             return True
         logp = log_softmax_np(logits)
         entropy = float(-(np.exp(logp) * logp).sum())
         if entropy > self.max_entropy_frac * np.log(logits.size):
-            self.flagged_steps += 1
-            self.reasons.append("entropy")
+            self._flag("entropy")
             return True
         return False
+
+    def _flag(self, reason: str) -> None:
+        self.flagged_steps += 1
+        self.reasons.append(reason)
+        from repro.obs.flight import flight_recorder
+
+        recorder = flight_recorder()
+        if recorder.active:
+            recorder.event(
+                "detector.flag", reason=reason, step=self.total_steps - 1
+            )
 
     @property
     def triggered(self) -> bool:

@@ -88,7 +88,18 @@ class RangeRestrictor:
         with np.errstate(invalid="ignore"):
             bad = ~((output >= bounds.low) & (output <= bounds.high))
         if bad.any():
-            self.clip_events += int(bad.sum())
+            clipped = int(bad.sum())
+            self.clip_events += clipped
+            from repro.obs.flight import flight_recorder
+
+            recorder = flight_recorder()
+            if recorder.active:
+                recorder.event(
+                    "mitigation.clip",
+                    layer=ctx.full_name,
+                    iteration=int(ctx.iteration),
+                    clipped=clipped,
+                )
             # NaNs fail both comparisons; clamp them to the midpoint.
             np.clip(output, bounds.low, bounds.high, out=output)
             nans = np.isnan(output)

@@ -19,6 +19,15 @@ from repro.obs.export import (
     read_run,
     write_run,
 )
+from repro.obs.flight import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    explain_run,
+    explain_trial,
+    first_divergence,
+    flight_recorder,
+    flight_records,
+)
 from repro.obs.instrument import attach_layer_timing
 from repro.obs.manifest import (
     TELEMETRY_SCHEMA_VERSION,
@@ -29,13 +38,17 @@ from repro.obs.manifest import (
     git_revision,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.report import render_report, report_path
+from repro.obs.report import render_comparison, render_report, report_path
 from repro.obs.runtime import Telemetry, disable, enable, log_line, telemetry
 from repro.obs.trace import SpanRecord, Tracer
+from repro.obs.traceview import chrome_trace, export_trace
+from repro.obs.watch import WatchState, watch
 
 __all__ = [
+    "FLIGHT_SCHEMA_VERSION",
     "TELEMETRY_SCHEMA_VERSION",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlWriter",
@@ -45,18 +58,28 @@ __all__ = [
     "SpanRecord",
     "Telemetry",
     "Tracer",
+    "WatchState",
     "attach_layer_timing",
     "build_manifest",
     "check_schema",
+    "chrome_trace",
     "config_hash",
     "disable",
     "enable",
+    "explain_run",
+    "explain_trial",
+    "export_trace",
+    "first_divergence",
+    "flight_recorder",
+    "flight_records",
     "git_revision",
     "log_line",
     "read_jsonl",
     "read_run",
+    "render_comparison",
     "render_report",
     "report_path",
     "telemetry",
+    "watch",
     "write_run",
 ]

@@ -67,13 +67,29 @@ def write_run(
 
 
 def read_jsonl(path: str | Path) -> list[dict]:
-    """Parse every non-empty line of a JSONL file."""
+    """Parse every non-empty line of a JSONL file.
+
+    A torn *final* line — the record in flight when the writing
+    process died — is tolerated and dropped, matching the campaign
+    checkpoint reader's crash semantics; corruption anywhere earlier
+    raises ``ValueError`` with the offending line number.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
     records = []
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    for lineno, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines) - 1:
+                break  # torn final record: mid-write at the kill
+            raise ValueError(
+                f"{path}: corrupt JSONL record at line {lineno + 1}"
+            ) from exc
     return records
 
 

@@ -131,6 +131,49 @@ def _derived_section(run: RunData) -> list[str]:
     return lines
 
 
+def _flight_section(run: RunData) -> list[str]:
+    """Recorder-aware forensics summary: where do SDCs come from?
+
+    Groups flight-recorded trials by injection layer (outcome tallies
+    per site) and summarizes how deep into the output the first
+    divergent token lands for SDC trials — the aggregate view of the
+    per-trial stories ``obs explain`` renders.
+    """
+    from repro.obs.flight import flight_records
+
+    records = flight_records(run)
+    if not records:
+        return []
+    by_layer: dict[str, dict[str, int]] = defaultdict(
+        lambda: defaultdict(int)
+    )
+    for record in records.values():
+        layer = record.get("site", {}).get("layer_name", "?")
+        by_layer[layer][record.get("outcome", "?")] += 1
+    outcomes = sorted({o for tally in by_layer.values() for o in tally})
+    rows = [
+        [layer, *(str(by_layer[layer][o]) for o in outcomes)]
+        for layer in sorted(by_layer)
+    ]
+    lines = ["", "== flight: outcomes by injection layer =="]
+    lines += _table(["layer", *outcomes], rows)
+    depths = sorted(
+        record["divergence"]["index"]
+        for record in records.values()
+        if record.get("divergence") is not None
+        and record.get("outcome") != "masked"
+    )
+    if depths:
+        n = len(depths)
+        lines += [
+            "",
+            "== flight: SDC divergence depth (first divergent token) ==",
+            f"trials {n}  min {depths[0]}  p50 {depths[n // 2]}"
+            f"  max {depths[-1]}",
+        ]
+    return lines
+
+
 def render_report(run: RunData) -> str:
     manifest = run.manifest
     lines = [
@@ -149,8 +192,71 @@ def render_report(run: RunData) -> str:
     lines += _span_section(run)
     lines += _histogram_section(run)
     lines += _scalar_section(run)
+    lines += _flight_section(run)
     lines += _derived_section(run)
     return "\n".join(lines)
+
+
+def render_comparison(runs: list[tuple[str, RunData]]) -> str:
+    """Side-by-side counter/histogram diff across several runs.
+
+    One column per run; with exactly two runs a delta column is added
+    (second minus first) — the view used to quantify e.g. the flight
+    recorder's overhead against a recorder-off run of the same
+    campaign.
+    """
+    labels = [label for label, _ in runs]
+    lines = ["== run comparison ==", "runs: " + ", ".join(labels)]
+    counter_names = sorted(
+        {name for _, run in runs for name in run.metrics.counters}
+    )
+    if counter_names:
+        rows = []
+        for name in counter_names:
+            values = [
+                run.metrics.counters.get(name) for _, run in runs
+            ]
+            row = [name] + [
+                _fmt(v.value) if v is not None else "-" for v in values
+            ]
+            if len(runs) == 2 and None not in values:
+                row.append(_fmt(values[1].value - values[0].value))
+            elif len(runs) == 2:
+                row.append("-")
+            rows.append(row)
+        headers = ["counter", *labels] + (["delta"] if len(runs) == 2 else [])
+        lines += ["", "== counters =="]
+        lines += _table(headers, rows)
+    histogram_names = sorted(
+        {name for _, run in runs for name in run.metrics.histograms}
+    )
+    if histogram_names:
+        rows = []
+        for name in histogram_names:
+            for stat in ("count", "mean", "p95"):
+                row = [name if stat == "count" else "", stat]
+                cells = []
+                for _, run in runs:
+                    histogram = run.metrics.histograms.get(name)
+                    summary = (
+                        histogram.summary() if histogram is not None else None
+                    )
+                    cells.append(
+                        _fmt(summary[stat])
+                        if summary and summary["count"]
+                        else "-"
+                    )
+                rows.append(row + cells)
+        lines += ["", "== histograms =="]
+        lines += _table(["name", "stat", *labels], rows)
+    return "\n".join(lines)
+
+
+def _comparison_labels(paths: list[str]) -> list[str]:
+    """Shortest distinct labels for the compared runs (basenames, or
+    full paths when basenames collide)."""
+    names = [Path(p).name for p in paths]
+    return names if len(set(names)) == len(names) else [str(p) for p in paths]
 
 
 def report_path(path: str | Path) -> str:
@@ -165,16 +271,24 @@ def main(argv: list[str]) -> int:
     from repro.obs.manifest import SchemaMismatchError
 
     if not argv:
-        print("usage: python -m repro obs report <run.jsonl>")
+        print("usage: python -m repro obs report <run.jsonl> [more.jsonl ...]")
         return 2
     status = 0
-    for path in argv:
+    loaded: list[tuple[str, RunData]] = []
+    for path, label in zip(argv, _comparison_labels(argv)):
         try:
-            print(report_path(path))
+            run = read_run(path)
         except FileNotFoundError:
             print(f"error: no such run file: {path}", file=sys.stderr)
             status = 1
+            continue
         except (ValueError, SchemaMismatchError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             status = 1
+            continue
+        loaded.append((label, run))
+        print(render_report(run))
+    if len(loaded) > 1:
+        print()
+        print(render_comparison(loaded))
     return status

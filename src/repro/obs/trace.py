@@ -151,7 +151,9 @@ class Tracer:
         self._next_id += 1
         return span_id
 
-    def adopt(self, records: list[SpanRecord]) -> None:
+    def adopt(
+        self, records: list[SpanRecord], extra_attrs: dict | None = None
+    ) -> None:
         """Merge foreign spans (e.g. from a worker process), re-keyed.
 
         Span ids are reassigned from this tracer's counter while
@@ -161,6 +163,11 @@ class Tracer:
         them.  Adoption order is the caller's responsibility — adopting
         worker batches in chunk order keeps merged output deterministic
         with respect to worker scheduling.
+
+        ``extra_attrs`` are stamped onto every adopted span — the
+        campaign merge uses this to attribute worker spans with
+        ``(campaign_hash, trial, worker_pid)`` so a stitched trace can
+        group and lane them (see :mod:`repro.obs.traceview`).
         """
         remap: dict[int, int] = {}
         anchor = self._stack[-1] if self._stack else None
@@ -168,6 +175,9 @@ class Tracer:
             remap[record.span_id] = self._alloc_id()
         for record in records:
             parent = record.parent_id
+            attrs = dict(record.attrs)
+            if extra_attrs:
+                attrs.update(extra_attrs)
             self.records.append(
                 SpanRecord(
                     name=record.name,
@@ -175,7 +185,7 @@ class Tracer:
                     parent_id=remap.get(parent, anchor) if parent else anchor,
                     start=record.start,
                     duration=record.duration,
-                    attrs=dict(record.attrs),
+                    attrs=attrs,
                 )
             )
 
