@@ -10,7 +10,11 @@ until a downstream reader breaks.  This checker pins the contract:
 * an embedded provenance ``manifest`` that passes the telemetry
   schema check (``kind="manifest"``, current ``schema_version``,
   ``config_hash``, package versions);
-* at least one finite numeric measurement outside the manifest.
+* at least one finite numeric measurement outside the manifest;
+* bench-specific shape checks where a downstream reader depends on
+  one (``BENCH_scaleout.json``: per-fault-model rows with equivalence
+  flags, and an ``overall`` block with the speedup/memory numbers the
+  README cites).
 
 Exit status is non-zero on any violation; CI runs this in the tier-1
 job.
@@ -51,6 +55,51 @@ def _has_finite_number(value) -> bool:
     return False
 
 
+# The paper's three fault models; every scale-out row must cover them.
+SCALEOUT_FAULT_MODELS = ("1bit-comp", "2bits-comp", "2bits-mem")
+
+
+def _check_scaleout(payload: dict) -> list[str]:
+    """Shape check for the scale-out artifact: the README quotes its
+    ``overall`` numbers and CI trusts its equivalence flags, so drift
+    here is load-bearing."""
+    problems = []
+    overall = payload.get("overall")
+    if not isinstance(overall, dict):
+        return ["scaleout: missing or non-object 'overall'"]
+    for key in ("host_cores", "arena_bytes", "model_copy_bytes",
+                "best_speedup", "top_workers"):
+        value = overall.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value):
+            problems.append(f"scaleout: overall.{key} must be a finite number")
+    if overall.get("records_bit_identical") is not True:
+        problems.append("scaleout: overall.records_bit_identical must be true")
+    rows = payload.get("fault_models")
+    if not isinstance(rows, dict):
+        return problems + ["scaleout: missing or non-object 'fault_models'"]
+    for fm in SCALEOUT_FAULT_MODELS:
+        row = rows.get(fm)
+        if not isinstance(row, dict):
+            problems.append(f"scaleout: missing fault model row {fm!r}")
+            continue
+        for flag in ("records_equal", "resume_equal"):
+            if row.get(flag) is not True:
+                problems.append(f"scaleout: {fm}.{flag} must be true")
+        rate = row.get("trials_per_sec_serial")
+        if not isinstance(rate, (int, float)) or not math.isfinite(rate) \
+                or rate <= 0:
+            problems.append(
+                f"scaleout: {fm}.trials_per_sec_serial must be positive"
+            )
+        if not any(key.startswith("workers_") for key in row):
+            problems.append(f"scaleout: {fm} has no pooled 'workers_N' cell")
+    return problems
+
+
+BENCH_CHECKS = {"scaleout": _check_scaleout}
+
+
 def check_bench_file(path: Path) -> list[str]:
     """Validate one artifact; returns a list of problems (empty = ok)."""
     problems = []
@@ -89,6 +138,9 @@ def check_bench_file(path: Path) -> list[str]:
     }
     if not _has_finite_number(measurements):
         problems.append("no finite numeric measurement outside the manifest")
+    extra_check = BENCH_CHECKS.get(bench_id) if isinstance(bench_id, str) else None
+    if extra_check is not None:
+        problems.extend(extra_check(payload))
     return problems
 
 

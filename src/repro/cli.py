@@ -40,6 +40,7 @@ alone defaults to ``artifacts/runs/<command>.jsonl``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -72,6 +73,18 @@ _EXPERIMENTS = {
     "fig20": _experiments.fig20_chain_of_thought,
     "fig21": _experiments.fig21_dtypes,
 }
+
+
+def _workers_arg(value: str) -> int:
+    """``--workers`` parser: an int, or ``auto`` for one per core."""
+    if value.strip().lower() == "auto":
+        return os.cpu_count() or 1
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--workers expects an integer or 'auto', got {value!r}"
+        ) from exc
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -136,7 +149,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument(
-        "--workers", type=int, default=0, help="process-pool size (0 = serial)"
+        "--workers",
+        type=_workers_arg,
+        default=0,
+        metavar="N|auto",
+        help="persistent-pool size (0 = serial; 'auto' = one per core)",
     )
     campaign.add_argument(
         "--checkpoint",
@@ -305,7 +322,10 @@ def _telemetry_finish(args: argparse.Namespace) -> None:
 
 
 def _cmd_list_models() -> int:
-    print(f"{'name':18s} {'params':>9s} {'kind':12s} {'cached':6s}")
+    from repro.model.params import arena_valid
+    from repro.zoo import sidecar_path
+
+    print(f"{'name':18s} {'params':>9s} {'kind':12s} {'cached':6s} {'shared':6s}")
     tokenizer_len = None
     from repro.zoo.build import default_tokenizer
 
@@ -317,7 +337,13 @@ def _cmd_list_models() -> int:
             "fine-tuned" if spec.base else "general"
         )
         cached = "yes" if cache_path(name).exists() else "no"
-        print(f"{name:18s} {config.n_params():9d} {kind:12s} {cached:6s}")
+        # "shared" = the mmap arena sidecar exists and is intact; a
+        # cached model without one regenerates it on next load.
+        shared = "yes" if arena_valid(sidecar_path(name)) else "no"
+        print(
+            f"{name:18s} {config.n_params():9d} {kind:12s} {cached:6s}"
+            f" {shared:6s}"
+        )
     return 0
 
 

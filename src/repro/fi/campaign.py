@@ -25,24 +25,39 @@ the same paper-scale campaigns it measures):
   (``max_retries``) and quarantined as :attr:`Outcome.FAILED` records
   when they fail deterministically — the campaign completes instead of
   crashing;
-* worker death (``BrokenProcessPool``) rebuilds the pool and re-runs
-  the unfinished trials; ``trial_timeout`` bounds each trial (a stuck
-  worker is abandoned with its pool); after ``max_pool_rebuilds``
-  replacements the campaign degrades gracefully to serial execution.
+* a dead worker is respawned (it re-attaches to the campaign's shared
+  weight arena — weights are never re-shipped); ``trial_timeout``
+  bounds each trial (a stuck worker is killed and replaced); after
+  ``max_pool_rebuilds`` replacements the campaign degrades gracefully
+  to serial execution.
+
+Scale-out: parallel execution uses a *pre-forked persistent pool*
+built once per campaign.  The target (and draft) engines export their
+weight planes into a memory-mapped read-only arena; every worker
+attaches zero-copy, so N workers share one physical copy of the model
+through the page cache.  Weight-fault trials copy-on-write only the
+targeted tensor (see ``WeightStore._ensure_writable``).  Work is
+distributed dynamically — the parent hands the next pending trial to
+whichever worker frees up first (work stealing without a shared lock),
+which keeps all workers busy under skewed trial durations.  The pool
+survives across ``run()``/``resume()`` calls on the same campaign.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
+import multiprocessing as mp
 import os
+import queue as queue_mod
+import shutil
 import signal
+import tempfile
 import threading
 import time
+import weakref
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -59,7 +74,7 @@ from repro.generation.decode import GenerationConfig, choose_option, generate_id
 from repro.generation.speculative import SpeculativeDecoder
 from repro.inference.engine import CaptureState, InferenceEngine
 from repro.metrics.evaluate import score_generative
-from repro.model.params import ParamStore
+from repro.model.params import arena_nbytes
 from repro.obs.flight import flight_recorder as _flight
 from repro.obs.instrument import attach_layer_timing
 from repro.obs.manifest import config_hash
@@ -250,35 +265,60 @@ def _trial_alarm(seconds: float | None):
 
 
 # ----------------------------------------------------------------------------
-# Worker-side state for the process pool.
+# Worker-side state for the persistent pool.
 # ----------------------------------------------------------------------------
 
 _WORKER: dict = {}
 
 
-def _worker_init(
-    store: ParamStore,
-    policy: str,
-    campaign_state: dict,
-    telemetry_active: bool = False,
-    draft_store: ParamStore | None = None,
-    draft_policy: str | None = None,
-    flight_active: bool = False,
-) -> None:
+def _attach_worker_campaign(arena_root: Path, campaign_state: dict) -> "FICampaign":
+    """Rebuild a worker-local campaign over the shared weight arena.
+
+    Nothing heavyweight crosses the process boundary: the campaign
+    state dict is inherited through ``fork`` and the engines attach
+    zero-copy to the parent's exported mmap planes, so every worker
+    (including ones respawned after a death) shares one physical copy
+    of the weights through the page cache.
+    """
     campaign = FICampaign.__new__(FICampaign)
     campaign.__dict__.update(campaign_state)
-    campaign.engine = InferenceEngine(store, weight_policy=policy)
-    # The draft engine (like the target) is rebuilt worker-side from
-    # its exported store rather than pickled with live fault machinery.
+    campaign.engine = InferenceEngine.open_shared(arena_root / "target")
+    draft_dir = arena_root / "draft"
     campaign.draft_model = (
-        InferenceEngine(draft_store, weight_policy=draft_policy or "fp32")
-        if draft_store is not None
-        else None
+        InferenceEngine.open_shared(draft_dir) if draft_dir.exists() else None
     )
     # Each worker builds its own prefill-session cache: sessions wrap
-    # the worker-local engine and are deliberately never pickled.  The
+    # the worker-local engine and are deliberately never shared.  The
     # cache persists across every trial this worker serves.
     campaign._prefill_sessions = {}
+    campaign._pool = None
+    campaign._arena = None
+    return campaign
+
+
+def _pool_worker_main(
+    arena_root: str,
+    campaign_state: dict,
+    telemetry_active: bool,
+    flight_active: bool,
+    task_q,
+    result_q,
+) -> None:
+    """Persistent pool worker: attach to the arena, then serve trials.
+
+    Messages on ``result_q`` are ``(kind, pid, trial, body)``:
+
+    * ``("ready", pid, None, None)`` — attached and idle;
+    * ``("start", pid, trial, None)`` — began executing ``trial`` (the
+      supervisor arms the trial deadline here, so queue latency and
+      attach time never count against ``trial_timeout``);
+    * ``("ok", pid, trial, (record, payload))`` — trial finished;
+    * ``("err", pid, trial, "Type: msg")`` — trial raised (the worker
+      already ran ``_post_failure_repair`` and is reusable).
+
+    The loop exits on a ``None`` sentinel or a closed task queue.
+    """
+    campaign = _attach_worker_campaign(Path(arena_root), campaign_state)
     _WORKER["campaign"] = campaign
     _WORKER["in_pool"] = True
     if telemetry_active:
@@ -295,6 +335,26 @@ def _worker_init(
         recorder = _flight()
         recorder.reset()
         recorder.arm()
+    pid = os.getpid()
+    result_q.put(("ready", pid, None, None))
+    while True:
+        try:
+            task = task_q.get()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if task is None:
+            return
+        trial, attempt = task
+        try:
+            result_q.put(("start", pid, trial, None))
+            try:
+                record, payload = _worker_run_one((trial, attempt))
+            except Exception as exc:  # noqa: BLE001 — shipped to supervisor
+                result_q.put(("err", pid, trial, f"{type(exc).__name__}: {exc}"))
+            else:
+                result_q.put(("ok", pid, trial, (record, payload)))
+        except (BrokenPipeError, KeyboardInterrupt):
+            return
 
 
 def _worker_run_one(args: tuple[int, int]) -> tuple[TrialRecord, dict | None]:
@@ -331,6 +391,231 @@ def _worker_run_one(args: tuple[int, int]) -> tuple[TrialRecord, dict | None]:
     if recorder.active:
         payload["flight"] = recorder.drain()
     return record, payload
+
+
+# ----------------------------------------------------------------------------
+# Shared weight arena + pre-forked persistent pool (parent side).
+# ----------------------------------------------------------------------------
+
+
+class _SharedArena:
+    """One campaign's exported weight planes on disk (target + draft).
+
+    Exported exactly once per campaign into a temp directory of
+    ``.npy``-layout mmap arenas; every pool worker — initial or
+    respawned — attaches to the same files, so weights are shipped
+    zero times regardless of how often the pool rebuilds.  The
+    directory is removed when the campaign is garbage collected
+    (workers keep their mappings alive through the open inodes).
+    """
+
+    def __init__(self, engine: InferenceEngine, draft: InferenceEngine | None):
+        self.root = Path(tempfile.mkdtemp(prefix="repro-arena-"))
+        engine.export_shared(self.root / "target")
+        self.nbytes = arena_nbytes(self.root / "target")
+        if draft is not None:
+            draft.export_shared(self.root / "draft")
+            self.nbytes += arena_nbytes(self.root / "draft")
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, str(self.root), True
+        )
+
+    def close(self) -> None:
+        self._finalizer()
+
+
+def _terminate_procs(workers: dict) -> None:
+    """GC-time backstop: SIGTERM any pool worker still alive."""
+    for proc, _task_q in list(workers.values()):
+        if proc.is_alive():
+            proc.terminate()
+
+
+class CampaignPool:
+    """Pre-forked persistent worker pool with parent-side dispatch.
+
+    Workers are forked once (inheriting the campaign state; attaching
+    to the shared arena for weights) and then serve trials until the
+    campaign ends.  The parent assigns the next pending trial to
+    whichever worker reports free first — dynamic dispatch is the
+    work-stealing behaviour (an idle worker "steals" trials a static
+    chunking would have given to a slower sibling) without any shared
+    lock, and it gives the supervisor exact trial→worker attribution
+    for deadlines and death accounting.
+
+    This class owns only process/queue mechanics; retry, quarantine
+    and degradation *policy* lives in ``FICampaign._run_pool``.
+    """
+
+    def __init__(
+        self,
+        spawn_args: tuple,
+        n_workers: int,
+    ) -> None:
+        # fork (not spawn): workers must inherit spawn_args by memory
+        # so the campaign state is never pickled, and must exist before
+        # any trial runs so arena pages are shared, not duplicated.
+        self._ctx = mp.get_context("fork")
+        self._spawn_args = spawn_args
+        self.n_workers = n_workers
+        self.telemetry_active = bool(spawn_args[2])
+        self.flight_active = bool(spawn_args[3])
+        self.result_q = self._ctx.Queue()
+        self._workers: dict[int, tuple] = {}  # pid -> (proc, task_q)
+        self._idle: set[int] = set()
+        self._ready: set[int] = set()
+        self.in_flight: dict[int, list] = {}  # pid -> [trial, started or None]
+        self.spawning = 0
+        self.closed = False
+        self._finalizer = weakref.finalize(
+            self, _terminate_procs, self._workers
+        )
+        for _ in range(n_workers):
+            self.spawn_worker()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def spawn_worker(self) -> int:
+        """Fork one worker; it announces itself with a "ready" message."""
+        task_q = self._ctx.SimpleQueue()
+        proc = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(*self._spawn_args, task_q, self.result_q),
+            daemon=True,
+        )
+        proc.start()
+        self._workers[proc.pid] = (proc, task_q)
+        self.spawning += 1
+        return proc.pid
+
+    def wait_ready(self, timeout: float = 120.0) -> int:
+        """Block until every spawning worker attached (or died/timed out).
+
+        Returns the number of "ready" announcements processed.  Used
+        only at spinup, when no trials are in flight — later readies
+        (respawns) flow through the supervisor's normal ``poll`` loop.
+        """
+        ready = 0
+        deadline = time.monotonic() + timeout
+        while self.spawning and time.monotonic() < deadline:
+            msg = self.poll(0.2)
+            if msg is not None and msg[0] == "ready":
+                ready += 1
+            elif msg is None and not any(
+                proc.is_alive()
+                for pid, (proc, _q) in self._workers.items()
+                if pid not in self._ready
+            ):
+                self.reap_dead()
+                break
+        return ready
+
+    def close(self) -> None:
+        """Shut the pool down: sentinel, short grace, then kill."""
+        if self.closed:
+            return
+        self.closed = True
+        for _pid, (_proc, task_q) in list(self._workers.items()):
+            try:
+                task_q.put(None)
+            except (OSError, ValueError):
+                pass
+        grace = time.monotonic() + 1.0
+        for _pid, (proc, _q) in list(self._workers.items()):
+            proc.join(max(0.0, grace - time.monotonic()))
+        for _pid, (proc, _q) in list(self._workers.items()):
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+        self._workers.clear()
+        self._idle.clear()
+        self._ready.clear()
+        self.in_flight.clear()
+        self.spawning = 0
+        self.result_q.close()
+        self._finalizer.detach()
+
+    # -- scheduling --------------------------------------------------------
+
+    @property
+    def idle(self) -> set[int]:
+        return self._idle
+
+    def worker_pids(self) -> list[int]:
+        return sorted(self._workers)
+
+    def alive(self) -> bool:
+        return any(proc.is_alive() for proc, _q in self._workers.values())
+
+    def dispatch(self, trial: int, attempt: int) -> int:
+        """Hand ``(trial, attempt)`` to an idle worker; returns its pid."""
+        pid = self._idle.pop()
+        self.in_flight[pid] = [trial, None]
+        self._workers[pid][1].put((trial, attempt))
+        return pid
+
+    def poll(self, timeout: float):
+        """Next worker message (or ``None`` on timeout), with pool
+        bookkeeping (idle/ready/in-flight transitions) already applied."""
+        try:
+            msg = self.result_q.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+        kind, pid, trial, _body = msg
+        if kind == "ready":
+            self.spawning = max(0, self.spawning - 1)
+            if pid in self._workers:
+                self._ready.add(pid)
+                self._idle.add(pid)
+        elif kind == "start":
+            entry = self.in_flight.get(pid)
+            if entry is not None and entry[0] == trial:
+                entry[1] = time.monotonic()
+        elif kind in ("ok", "err"):
+            entry = self.in_flight.get(pid)
+            if entry is not None and entry[0] == trial:
+                del self.in_flight[pid]
+            if pid in self._workers:
+                self._idle.add(pid)
+        return msg
+
+    def reap_dead(self) -> list[tuple[int, int | None]]:
+        """Collect dead workers; returns ``[(pid, orphaned trial?)]``."""
+        dead = []
+        for pid, (proc, _task_q) in list(self._workers.items()):
+            if proc.is_alive():
+                continue
+            proc.join()
+            entry = self.in_flight.pop(pid, None)
+            if pid not in self._ready:
+                self.spawning = max(0, self.spawning - 1)
+            self._idle.discard(pid)
+            self._ready.discard(pid)
+            del self._workers[pid]
+            dead.append((pid, entry[0] if entry else None))
+        return dead
+
+    def expired(self, now: float, timeout: float | None) -> list[tuple[int, int]]:
+        """Workers whose armed trial deadline has passed."""
+        if not timeout:
+            return []
+        return [
+            (pid, entry[0])
+            for pid, entry in self.in_flight.items()
+            if entry[1] is not None and now - entry[1] > timeout
+        ]
+
+    def kill_worker(self, pid: int) -> None:
+        """SIGKILL one worker (stuck mid-trial) and forget it."""
+        entry = self._workers.pop(pid, None)
+        if entry is None:
+            return
+        proc, _task_q = entry
+        proc.kill()
+        proc.join(5.0)
+        self.in_flight.pop(pid, None)
+        self._idle.discard(pid)
+        self._ready.discard(pid)
 
 
 class FICampaign:
@@ -422,6 +707,12 @@ class FICampaign:
         position)`` entries for fault-free prefill reuse (never pickled
         to workers — each worker rebuilds its own lazily)."""
         self._metric_baseline_memo: dict[tuple[str, int], float] = {}
+        self._arena: _SharedArena | None = None
+        """Lazily exported shared weight arena (one per campaign —
+        pool rebuilds and resumed runs re-attach, never re-export)."""
+        self._pool: CampaignPool | None = None
+        """Persistent pre-forked worker pool; survives across
+        ``run()``/``resume()`` boundaries until :meth:`close_pool`."""
 
     # -- stable trial identity ---------------------------------------------------
 
@@ -853,8 +1144,14 @@ class FICampaign:
             # reopens the trial from scratch).
             recorder.abort_trial()
 
-    def _quarantine_record(self, trial: int, exc: BaseException) -> TrialRecord:
-        """A ``FAILED`` placeholder for a deterministically crashing trial."""
+    def _quarantine_record(
+        self, trial: int, exc: BaseException | str
+    ) -> TrialRecord:
+        """A ``FAILED`` placeholder for a deterministically crashing trial.
+
+        ``exc`` is the exception itself (serial path) or its already
+        formatted ``"Type: message"`` string (shipped across the pool's
+        result queue — exceptions themselves stay worker-side)."""
         max_iter = 1 if self.is_mc else self.generation.max_new_tokens
         if self.max_fault_iterations is not None:
             max_iter = min(max_iter, self.max_fault_iterations)
@@ -871,7 +1168,7 @@ class FICampaign:
             metrics={},
             changed=False,
             selection_changed=None,
-            error=f"{type(exc).__name__}: {exc}",
+            error=exc if isinstance(exc, str) else f"{type(exc).__name__}: {exc}",
         )
 
     def _supervise_serial_trial(
@@ -978,20 +1275,26 @@ class FICampaign:
     ) -> CampaignResult:
         """Execute ``n_trials`` fault injections (optionally in parallel).
 
-        ``n_workers=0`` runs serially; otherwise a supervised process
-        pool executes trials individually.  Results are identical
-        either way because every trial derives its RNG from its stable
-        :meth:`trial_key`.  Telemetry, when enabled, is likewise
-        schedule-invariant: worker snapshots merge in trial order.
+        ``n_workers=0`` runs serially; otherwise a pre-forked
+        persistent pool executes trials individually.  Workers share
+        one memory-mapped copy of the weights (per-worker incremental
+        memory is KV caches + Python overhead, not the model), pull
+        work dynamically from the parent's pending deque, and survive
+        across ``run()``/``resume()`` calls on this campaign.  Results
+        are identical either way because every trial derives its RNG
+        from its stable :meth:`trial_key`.  Telemetry, when enabled, is
+        likewise schedule-invariant: worker snapshots merge in trial
+        order.
 
         ``checkpoint`` journals every completed trial to a JSONL file;
         with ``resume=True`` an existing journal's trials are loaded
         and skipped (see :meth:`resume`).  ``trial_timeout`` bounds one
         trial's wall clock; trials that raise are retried up to
         ``max_retries`` times with exponential ``retry_backoff`` before
-        being quarantined as :attr:`Outcome.FAILED`; a process pool
-        broken by worker death is rebuilt up to ``max_pool_rebuilds``
-        times, after which execution degrades to serial.
+        being quarantined as :attr:`Outcome.FAILED`; a dead or stuck
+        worker is killed and respawned against the existing shared
+        arena up to ``max_pool_rebuilds`` times, after which execution
+        degrades to serial.
         """
         sup = _Supervision(
             trial_timeout=trial_timeout,
@@ -1080,55 +1383,93 @@ class FICampaign:
                             trial, self.trial_key(trial), record, attempts
                         )
             else:
-                self._run_supervised_pool(
-                    todo, n_workers, tel, sup, journal, results
-                )
+                self._run_pool(todo, n_workers, tel, sup, journal, results)
         finally:
             if journal is not None:
                 journal.close()
         trials = [results[t] for t in range(n_trials)]
         return self._aggregate(trials)
 
-    @staticmethod
-    def _export_store(engine: InferenceEngine) -> ParamStore:
-        """A pickle-safe copy of an engine's parameters."""
-        return ParamStore(
-            engine.config,
-            {
-                **{
-                    f"{name}.weight": ws.array.copy()
-                    for name, ws in engine._stores.items()
-                },
-                **engine._plain,
-            },
-        )
+    # -- persistent pool (parent-side policy) -----------------------------------
 
-    def _pool_initargs(self, tel) -> tuple:
-        """Pickle-safe worker-initializer arguments (engines rebuilt there)."""
-        # Prefilled sessions hold engine references and KV buffers —
-        # workers rebuild their own lazily instead of unpickling ours.
-        # Engines (target and draft) travel as exported parameter
-        # stores for the same reason.
-        state = {
-            k: v
-            for k, v in self.__dict__.items()
-            if k not in ("engine", "draft_model", "_prefill_sessions")
-        }
-        draft_store = draft_policy = None
-        if self.draft_model is not None:
-            draft_store = self._export_store(self.draft_model)
-            draft_policy = self.draft_model.weight_policy
-        return (
-            self._export_store(self.engine),
-            self.engine.weight_policy,
-            state,
-            tel.active,
-            draft_store,
-            draft_policy,
-            _flight().active,
-        )
+    def _ensure_arena(self) -> _SharedArena:
+        """Export the shared weight arena exactly once per campaign."""
+        if self._arena is None:
+            self._arena = _SharedArena(self.engine, self.draft_model)
+        return self._arena
 
-    def _run_supervised_pool(
+    def _worker_state(self) -> dict:
+        """Campaign state inherited by forked workers.
+
+        Engines are excluded — workers attach to the shared arena
+        instead — as are prefill sessions (rebuilt worker-side) and
+        the pool/arena handles themselves.
+        """
+        drop = {"engine", "draft_model", "_prefill_sessions", "_pool", "_arena"}
+        return {k: v for k, v in self.__dict__.items() if k not in drop}
+
+    def _ensure_pool(self, n_workers: int, tel) -> CampaignPool:
+        """The campaign's persistent pool, (re)built only when stale.
+
+        A healthy pool is reused across ``run()``/``resume()`` calls —
+        resuming into a live pool pays zero spinup.  It is rebuilt only
+        when the requested worker count or the telemetry/flight
+        activation changed (workers bake those in at fork time).
+        """
+        flight_active = _flight().active
+        pool = self._pool
+        if pool is not None and (
+            pool.closed
+            or pool.n_workers != n_workers
+            or pool.telemetry_active != tel.active
+            or pool.flight_active != flight_active
+        ):
+            pool.close()
+            pool = self._pool = None
+        if pool is None:
+            arena = self._ensure_arena()
+            with tel.span(
+                "campaign.pool_spinup",
+                workers=n_workers,
+                arena_bytes=arena.nbytes,
+            ) as span:
+                pool = CampaignPool(
+                    (
+                        str(arena.root),
+                        self._worker_state(),
+                        tel.active,
+                        flight_active,
+                    ),
+                    n_workers,
+                )
+                ready = pool.wait_ready()
+                span.set(attached=ready)
+            if tel.active:
+                tel.metrics.counter("campaign.shared_attach").add(ready)
+                tel.metrics.gauge("campaign.workers").set(float(n_workers))
+                tel.metrics.gauge("campaign.arena_bytes").set(float(arena.nbytes))
+                tel.manifest_extra["scaleout"] = {
+                    "workers": n_workers,
+                    "arena_bytes": arena.nbytes,
+                }
+            self._pool = pool
+        return pool
+
+    def close_pool(self) -> None:
+        """Tear down the persistent pool and arena (idempotent).
+
+        Called automatically at garbage collection; call explicitly to
+        release the worker processes early (e.g. between campaigns in a
+        long-lived driver).
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+
+    def _run_pool(
         self,
         todo: list[int],
         n_workers: int,
@@ -1137,145 +1478,146 @@ class FICampaign:
         journal: CampaignCheckpoint | None,
         results: dict[int, TrialRecord],
     ) -> None:
-        """Supervised pool execution: per-trial futures, rebuilt on death.
+        """Supervise the persistent pool over this run's pending trials.
 
-        Pool generations: all pending trials are submitted to one
-        executor; a timeout or worker death condemns the executor
-        (finished futures are still harvested), the unfinished trials
-        carry over to a rebuilt pool.  After ``max_pool_rebuilds``
-        condemnations the remaining trials run serially in the parent
-        — graceful degradation beats a dead campaign.
+        Dispatch is dynamic (next pending trial → first free worker).
+        A worker that dies is respawned against the existing arena and
+        its orphaned trial re-queued; a worker whose trial exceeds
+        ``trial_timeout`` is SIGKILLed and replaced, the trial retried
+        or quarantined.  Each replacement counts against
+        ``max_pool_rebuilds``; past the budget the pool is shut down
+        and the remaining trials degrade to serial execution in the
+        parent — graceful degradation beats a dead campaign.
         """
-        initargs = self._pool_initargs(tel)
+        pool = self._ensure_pool(n_workers, tel)
         attempts = {t: 0 for t in todo}
         failures = {t: 0 for t in todo}
         payloads: dict[int, dict] = {}
-        pending = list(todo)
+        executed: dict[int, int] = {}  # pid -> trials completed there
+        pending = deque(sorted(todo))
+        done: set[int] = set()
         rebuilds = 0
+        degraded = False
 
-        def accept(trial: int, record: TrialRecord, payload: dict | None):
+        def accept(
+            trial: int,
+            record: TrialRecord,
+            payload: dict | None,
+            pid: int | None = None,
+        ):
             results[trial] = record
+            done.add(trial)
             if payload is not None:
                 payloads[trial] = payload
             if journal is not None:
                 journal.write(
-                    trial, self.trial_key(trial), record, attempts[trial]
+                    trial,
+                    self.trial_key(trial),
+                    record,
+                    attempts[trial],
+                    worker_pid=pid,
                 )
 
-        while pending:
+        def note_retry(trial: int) -> None:
+            if tel.active:
+                tel.metrics.counter("campaign.retries").add()
+
+        while len(done) < len(todo):
             if rebuilds > sup.max_pool_rebuilds:
-                if tel.active:
-                    tel.metrics.counter("campaign.pool_degraded").add()
-                for trial in pending:
-                    record, n_att = self._supervise_serial_trial(
-                        trial, sup, attempt0=attempts[trial]
-                    )
-                    attempts[trial] = n_att
-                    accept(trial, record, None)
+                degraded = True
                 break
-            workers = min(n_workers, os.cpu_count() or 1, len(pending))
-            executor = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_worker_init,
-                initargs=initargs,
-            )
-            queue = deque(
-                (t, executor.submit(_worker_run_one, (t, attempts[t])))
-                for t in pending
-            )
-            for t in pending:
-                attempts[t] += 1
-            carry_over: list[int] = []
-            condemned = False
-            while queue:
-                trial, fut = queue.popleft()
-                if condemned:
-                    # Executor already condemned: harvest whatever
-                    # finished cleanly, requeue the rest for the next
-                    # pool generation.
-                    if fut.done() and not fut.cancelled():
-                        try:
-                            record, payload = fut.result()
-                        except Exception:  # victim of the breakage
-                            carry_over.append(trial)
-                            continue
-                        accept(trial, record, payload)
-                    else:
-                        # Deliberately not cancelled here: the broken
-                        # executor's own teardown resolves it (racing a
-                        # manual cancel against that trips 3.11's
-                        # InvalidStateError in the management thread).
-                        carry_over.append(trial)
-                    continue
-                try:
-                    record, payload = fut.result(timeout=sup.trial_timeout)
-                except _FuturesTimeout:
-                    # The worker running this trial is stuck; abandon
-                    # the whole pool (we cannot reclaim one worker).
-                    failures[trial] += 1
-                    condemned = True
-                    rebuilds += 1
-                    if failures[trial] > sup.max_retries:
-                        accept(
-                            trial,
-                            self._quarantine_record(
-                                trial,
-                                TrialTimeoutError(
-                                    f"trial exceeded {sup.trial_timeout:g}s"
-                                ),
-                            ),
-                            None,
-                        )
-                    else:
-                        if tel.active:
-                            tel.metrics.counter("campaign.retries").add()
-                        carry_over.append(trial)
-                except BrokenProcessPool:
-                    # A worker died (this trial may be the killer or a
-                    # victim — indistinguishable); rebuild and re-run
-                    # every unfinished trial.
-                    condemned = True
-                    rebuilds += 1
+            while pending and pool.idle:
+                trial = pending.popleft()
+                pool.dispatch(trial, attempts[trial])
+                attempts[trial] += 1
+            msg = pool.poll(0.05)
+            now = time.monotonic()
+            if msg is not None:
+                kind, pid, trial, body = msg
+                if kind == "ready":
                     if tel.active:
-                        tel.metrics.counter("campaign.retries").add()
-                    carry_over.append(trial)
-                except Exception as exc:  # noqa: BLE001 — worker-raised error
-                    failures[trial] += 1
-                    if failures[trial] > sup.max_retries:
-                        accept(trial, self._quarantine_record(trial, exc), None)
-                    else:
-                        if tel.active:
-                            tel.metrics.counter("campaign.retries").add()
-                        if sup.retry_backoff:
-                            time.sleep(
-                                sup.retry_backoff * (2 ** (failures[trial] - 1))
-                            )
-                        # The executor is healthy — retry on it directly.
-                        queue.append(
-                            (
+                        tel.metrics.counter("campaign.shared_attach").add()
+                elif kind == "ok":
+                    executed[pid] = executed.get(pid, 0) + 1
+                    record, payload = body
+                    # `done` guard: a worker killed at its deadline may
+                    # have raced a completed result into the queue; the
+                    # trial was already quarantined or re-queued.
+                    if trial not in done:
+                        accept(trial, record, payload, pid)
+                elif kind == "err":
+                    executed[pid] = executed.get(pid, 0) + 1
+                    if trial not in done:
+                        failures[trial] += 1
+                        if failures[trial] > sup.max_retries:
+                            accept(
                                 trial,
-                                executor.submit(
-                                    _worker_run_one, (trial, attempts[trial])
-                                ),
+                                self._quarantine_record(trial, body),
+                                None,
+                                pid,
                             )
-                        )
-                        attempts[trial] += 1
+                        else:
+                            note_retry(trial)
+                            if sup.retry_backoff:
+                                time.sleep(
+                                    sup.retry_backoff
+                                    * (2 ** (failures[trial] - 1))
+                                )
+                            pending.append(trial)
+            for _pid, orphan in pool.reap_dead():
+                rebuilds += 1
+                if orphan is not None and orphan not in done:
+                    note_retry(orphan)
+                    pending.appendleft(orphan)
+                if rebuilds <= sup.max_pool_rebuilds:
+                    pool.spawn_worker()
+            for pid, trial in pool.expired(now, sup.trial_timeout):
+                pool.kill_worker(pid)
+                rebuilds += 1
+                failures[trial] += 1
+                if failures[trial] > sup.max_retries:
+                    accept(
+                        trial,
+                        self._quarantine_record(
+                            trial,
+                            TrialTimeoutError(
+                                f"trial exceeded {sup.trial_timeout:g}s"
+                            ),
+                        ),
+                        None,
+                        pid,
+                    )
                 else:
-                    accept(trial, record, payload)
-            if condemned:
-                # A condemned pool is abandoned outright: kill its
-                # workers first (one may be stuck mid-trial for
-                # minutes) so they can't outlive the campaign or block
-                # process exit — shutdown() drops the process table, so
-                # this must happen before it.  The executor's
-                # broken-pool teardown then resolves any still-pending
-                # futures; nobody awaits them again.
-                for proc in list(
-                    (getattr(executor, "_processes", None) or {}).values()
-                ):
-                    proc.terminate()
-            executor.shutdown(wait=True)
-            pending = sorted(carry_over)
+                    note_retry(trial)
+                    pending.appendleft(trial)
+                if rebuilds <= sup.max_pool_rebuilds:
+                    pool.spawn_worker()
+
+        if degraded:
+            # Rebuild budget exhausted: abandon the pool (in-flight
+            # trials included — their workers may be the problem) and
+            # finish every unfinished trial serially in the parent.
+            if tel.active:
+                tel.metrics.counter("campaign.pool_degraded").add()
+            pool.close()
+            self._pool = None
+            for trial in sorted(set(todo) - done):
+                record, n_att = self._supervise_serial_trial(
+                    trial, sup, attempt0=attempts[trial]
+                )
+                attempts[trial] = n_att
+                accept(trial, record, None)
+
+        if tel.active and executed:
+            # Work actually stolen: completions beyond an even static
+            # split.  Zero when every worker served exactly its share.
+            fair = math.ceil(sum(executed.values()) / max(1, n_workers))
+            steals = sum(max(0, n - fair) for n in executed.values())
+            tel.metrics.counter("campaign.steals").add(steals)
+
+        self._merge_worker_payloads(payloads, tel)
+
+    def _merge_worker_payloads(self, payloads: dict[int, dict], tel) -> None:
         recorder = _flight()
         if tel.active or recorder.active:
             # Merge worker telemetry in trial order, so the merged

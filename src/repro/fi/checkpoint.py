@@ -245,18 +245,30 @@ class CampaignCheckpoint:
         os.fsync(self._fh.fileno())
 
     def write(
-        self, trial: int, key: tuple, record: "TrialRecord", attempts: int = 1
+        self,
+        trial: int,
+        key: tuple,
+        record: "TrialRecord",
+        attempts: int = 1,
+        worker_pid: int | None = None,
     ) -> None:
-        """Journal one completed (or quarantined) trial."""
-        self._append(
-            {
-                "kind": "trial",
-                "trial": trial,
-                "key": list(key),
-                "attempts": attempts,
-                "record": trial_record_to_dict(record),
-            }
-        )
+        """Journal one completed (or quarantined) trial.
+
+        ``worker_pid`` records which persistent-pool worker served the
+        trial (``None`` for serial execution).  It is advisory
+        post-mortem metadata like ``attempts`` — not covered by the
+        campaign hash, and ignored on resume.
+        """
+        line = {
+            "kind": "trial",
+            "trial": trial,
+            "key": list(key),
+            "attempts": attempts,
+            "record": trial_record_to_dict(record),
+        }
+        if worker_pid is not None:
+            line["worker"] = int(worker_pid)
+        self._append(line)
         self.completed[trial] = record
         self.attempts[trial] = attempts
 

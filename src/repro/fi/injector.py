@@ -62,7 +62,12 @@ class MemoryFaultInjector:
 
     def __exit__(self, *exc: object) -> None:
         if self._token is not None:
-            self.engine.weight_store(self.site.layer_name).restore(self._token)
+            store = self.engine.weight_store(self.site.layer_name)
+            store.restore(self._token)
+            # Shared-arena stores privatized the tensor on the flip;
+            # now that it is bit-pristine again, hand the pages back so
+            # a long campaign's worker RSS stays one-tensor bounded.
+            store.release_private()
             self._token = None
             self.engine.weight_fault_depth -= 1
             recorder = _flight()

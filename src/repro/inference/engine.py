@@ -20,15 +20,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.autograd.functional import rms_norm_np, silu_np, softmax_np
 from repro.inference.hooks import HookContext, HookManager
 from repro.inference.kvcache import KVCache, PooledKVCache
-from repro.inference.storage import WeightStore, make_weight_store
+from repro.inference.storage import (
+    WeightStore,
+    attach_weight_store,
+    make_weight_store,
+)
 from repro.model.config import ModelConfig
-from repro.model.params import ParamStore
+from repro.model.params import ParamStore, open_arena, write_arena
 from repro.model.transformer import rope_tables
 from repro.obs.runtime import telemetry as _telemetry
 
@@ -97,6 +102,84 @@ class InferenceEngine:
         self._cos, self._sin = rope_tables(
             self.config.head_dim, self.config.max_seq, self.config.rope_theta
         )
+
+    # -- shared (memory-mapped) weight planes -----------------------------------
+
+    def export_shared(self, directory: str | Path) -> Path:
+        """Write every weight plane into a read-only mmap arena.
+
+        Unlike exporting a :class:`ParamStore` (raw float32 parameters),
+        this captures the engine's *policy-encoded* state — stored bit
+        patterns for float policies, integer codes and group scales for
+        quantized ones, plus the dequantized/rounded compute arrays —
+        so :meth:`open_shared` attaches without re-encoding anything and
+        is bit-identical to this engine by construction.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        store_meta: dict[str, dict] = {}
+        for name, ws in self._stores.items():
+            planes, meta = ws.export_state()
+            store_meta[name] = meta
+            for plane, array in planes.items():
+                arrays[f"store:{name}:{plane}"] = array
+        for name, array in self._plain.items():
+            arrays[f"plain:{name}"] = array
+        return write_arena(
+            directory,
+            arrays,
+            meta={
+                "kind": "engine",
+                "config": self.config.to_json(),
+                "weight_policy": self.weight_policy,
+                "activation_format": self.activation_format,
+                "stores": store_meta,
+            },
+        )
+
+    @staticmethod
+    def open_shared(directory: str | Path) -> "InferenceEngine":
+        """Attach an engine to an arena written by :meth:`export_shared`.
+
+        All weight planes are zero-copy read-only views into the shared
+        mapping; only the (tiny, deterministic) RoPE tables are
+        recomputed.  Weight-fault trials privatize the targeted tensor
+        on first flip (storage-policy copy-on-write) — the arena and
+        every sibling attachment stay pristine.
+        """
+        arrays, meta = open_arena(directory)
+        if meta.get("kind") != "engine":
+            raise ValueError(
+                f"{directory} is not an engine arena"
+                f" (kind={meta.get('kind')!r})"
+            )
+        engine = InferenceEngine.__new__(InferenceEngine)
+        engine.config = ModelConfig.from_json(meta["config"])
+        engine.weight_policy = meta["weight_policy"]
+        engine.activation_format = meta["activation_format"]
+        engine.hooks = HookManager()
+        engine.capture = None
+        engine.weight_fault_depth = 0
+        engine._stores = {
+            name: attach_weight_store(
+                {
+                    plane: arrays[f"store:{name}:{plane}"]
+                    for plane in smeta["planes"]
+                },
+                smeta,
+            )
+            for name, smeta in meta["stores"].items()
+        }
+        engine._plain = {
+            key[len("plain:"):]: array
+            for key, array in arrays.items()
+            if key.startswith("plain:")
+        }
+        engine._cos, engine._sin = rope_tables(
+            engine.config.head_dim,
+            engine.config.max_seq,
+            engine.config.rope_theta,
+        )
+        return engine
 
     # -- weight access ---------------------------------------------------------
 

@@ -31,6 +31,7 @@ __all__ = [
     "FloatWeightStore",
     "QuantizedWeightStore",
     "make_weight_store",
+    "attach_weight_store",
 ]
 
 
@@ -64,6 +65,19 @@ class WeightStore(Protocol):
 
     def restore(self, token: RestoreToken) -> None: ...
 
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        """``(planes, meta)`` sufficient to reattach without recompute.
+
+        Planes are the raw storage arrays (shareable read-only across
+        processes); ``meta`` is the JSON-able recipe
+        :func:`attach_weight_store` rebuilds the policy from.
+        """
+
+    def release_private(self) -> bool:
+        """Drop a CoW-private copy once it is bit-identical to the
+        shared planes again (i.e. after fault restoration), rebinding
+        to the shared views.  Returns whether a release happened."""
+
 
 class FloatWeightStore:
     """Weights stored as FP32/FP16/BF16 bit patterns.
@@ -77,6 +91,7 @@ class FloatWeightStore:
         self.fmt = get_format(fmt)
         self._bits = to_bits(np.asarray(weight, np.float32), self.fmt)
         self._array = from_bits(self._bits, self.fmt)
+        self._shared_planes: dict[str, np.ndarray] | None = None
 
     @property
     def array(self) -> np.ndarray:
@@ -90,9 +105,86 @@ class FloatWeightStore:
     def n_storage_bits(self) -> int:
         return self.fmt.bits
 
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Shareable planes: fp32 stores need only the compute array
+        (the stored bits are a reinterpreting view of the same bytes);
+        fp16/bf16 keep distinct bit and compute planes."""
+        meta = {"kind": "float", "fmt": self.fmt.name}
+        if self.fmt.bits == 32:
+            planes = {"array": self._array}
+        else:
+            planes = {"bits": self._bits, "array": self._array}
+        meta["planes"] = sorted(planes)
+        return planes, meta
+
+    @staticmethod
+    def attach(planes: dict[str, np.ndarray], meta: dict) -> "FloatWeightStore":
+        """Rebuild over exported planes without copying or re-encoding.
+
+        The attached planes are typically read-only mmap views shared
+        with other processes; the first bit flip copies them (see
+        :meth:`_ensure_writable`), so corruption stays private to the
+        flipping process while pristine tensors stay shared.
+        """
+        store = FloatWeightStore.__new__(FloatWeightStore)
+        store.fmt = get_format(meta["fmt"])
+        store._array = planes["array"]
+        store._bits = (
+            planes["bits"]
+            if "bits" in planes
+            else store._array.view(np.uint32)
+        )
+        store._shared_planes = dict(planes)
+        return store
+
+    def _ensure_writable(self) -> None:
+        """Copy-on-write: privatize shared planes before the first flip.
+
+        Stores attached to a read-only arena (or built directly over
+        ``ParamStore.open_shared`` views) clone *only this tensor* the
+        moment a weight fault targets it — sibling processes and the
+        arena itself keep the pristine bytes.
+        """
+        if not self._array.flags.writeable:
+            self._array = self._array.copy()
+            if self.fmt.bits == 32:
+                # fp32: stored bits are the compute array's own bytes;
+                # re-view the private copy to keep them aliased.
+                self._bits = self._array.view(np.uint32)
+        if not self._bits.flags.writeable:
+            self._bits = self._bits.copy()
+
+    def release_private(self) -> bool:
+        """Rebind to the shared-arena planes once the private copy is
+        pristine again.  Without this, a long campaign would privatize
+        every tensor a weight fault ever touched and a worker's RSS
+        would creep toward a full model copy; with it, steady-state
+        private memory is bounded by the one in-flight tensor.  The
+        bit-exact comparison makes the release unconditionally safe:
+        while any corruption is live the planes differ and nothing is
+        released."""
+        shared = self._shared_planes
+        if shared is None or not self._array.flags.writeable:
+            return False
+        shared_array = shared["array"]
+        shared_bits = shared.get("bits")
+        if shared_bits is None:  # fp32: bits alias the compute bytes
+            shared_bits = shared_array.view(np.uint32)
+        # Compare bit patterns, not floats: exact, and NaN-proof.
+        if not np.array_equal(self._bits, shared_bits):
+            return False
+        if self.fmt.bits != 32 and not np.array_equal(
+            self._array.view(np.uint32), shared_array.view(np.uint32)
+        ):
+            return False
+        self._array = shared_array
+        self._bits = shared_bits
+        return True
+
     def flip_element_bits(
         self, row: int, col: int, positions: list[int]
     ) -> RestoreToken:
+        self._ensure_writable()
         old_bits = self._bits[row, col]
         token = RestoreToken(row, col, old_bits, float(self._array[row, col]))
         new_bits = flip_bits(
@@ -117,6 +209,7 @@ class QuantizedWeightStore:
             weight, nbits=nbits, group_size=group_size
         )
         self._array = self.quantized.dequantize()
+        self._shared_planes: dict[str, np.ndarray] | None = None
 
     @property
     def array(self) -> np.ndarray:
@@ -130,9 +223,83 @@ class QuantizedWeightStore:
     def n_storage_bits(self) -> int:
         return self.quantized.nbits
 
+    def export_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        planes = {
+            "codes": self.quantized.codes,
+            "scales": self.quantized.scales,
+            "array": self._array,
+        }
+        meta = {
+            "kind": "quant",
+            "nbits": self.quantized.nbits,
+            "group_size": self.quantized.group_size,
+            "planes": sorted(planes),
+        }
+        return planes, meta
+
+    @staticmethod
+    def attach(
+        planes: dict[str, np.ndarray], meta: dict
+    ) -> "QuantizedWeightStore":
+        """Rebuild over exported planes — the exact codes and scales,
+        not a requantization of the dequantized array."""
+        store = QuantizedWeightStore.__new__(QuantizedWeightStore)
+        store.quantized = QuantizedMatrix(
+            codes=planes["codes"],
+            scales=planes["scales"],
+            nbits=int(meta["nbits"]),
+            group_size=int(meta["group_size"]),
+        )
+        store._array = planes["array"]
+        store._shared_planes = dict(planes)
+        return store
+
+    def _ensure_writable(self) -> None:
+        """Copy-on-write for shared-arena attachment: flips write the
+        codes and the compute array, so privatize those two planes on
+        the first fault.  Scales are never written and stay shared."""
+        q = self.quantized
+        if not q.codes.flags.writeable:
+            self.quantized = QuantizedMatrix(
+                codes=q.codes.copy(),
+                scales=q.scales,
+                nbits=q.nbits,
+                group_size=q.group_size,
+            )
+        if not self._array.flags.writeable:
+            self._array = self._array.copy()
+
+    def release_private(self) -> bool:
+        """See :meth:`FloatWeightStore.release_private`.  All-or-nothing:
+        codes *and* compute array must both match the shared planes, so
+        a nested still-corrupted fault (which could leave one plane
+        pristine, e.g. a zero-scale group dequantizing identically for
+        any code) never gets a read-only plane under its restore."""
+        shared = self._shared_planes
+        q = self.quantized
+        if shared is None or not (
+            q.codes.flags.writeable or self._array.flags.writeable
+        ):
+            return False
+        if not np.array_equal(q.codes, shared["codes"]):
+            return False
+        if not np.array_equal(
+            self._array.view(np.uint32), shared["array"].view(np.uint32)
+        ):
+            return False
+        self.quantized = QuantizedMatrix(
+            codes=shared["codes"],
+            scales=q.scales,
+            nbits=q.nbits,
+            group_size=q.group_size,
+        )
+        self._array = shared["array"]
+        return True
+
     def flip_element_bits(
         self, row: int, col: int, positions: list[int]
     ) -> RestoreToken:
+        self._ensure_writable()
         token = RestoreToken(row, col, None, float(self._array[row, col]))
         old_code = self.quantized.flip_code_bits(row, col, positions)
         token = RestoreToken(row, col, old_code, token.compute_value)
@@ -159,3 +326,20 @@ def make_weight_store(weight: np.ndarray, policy: str) -> WeightStore:
     if policy == "int4":
         return QuantizedWeightStore(weight, nbits=4)
     raise KeyError(f"unknown storage policy {policy!r}")
+
+
+def attach_weight_store(
+    planes: dict[str, np.ndarray], meta: dict
+) -> WeightStore:
+    """Rebuild a storage policy over planes exported by ``export_state``.
+
+    Unlike :func:`make_weight_store`, nothing is re-encoded: the policy
+    adopts the planes as-is (typically read-only shared-arena views),
+    so the attached store is bit-identical to the exporting one.
+    """
+    kind = meta.get("kind")
+    if kind == "float":
+        return FloatWeightStore.attach(planes, meta)
+    if kind == "quant":
+        return QuantizedWeightStore.attach(planes, meta)
+    raise KeyError(f"unknown weight-store kind {kind!r}")

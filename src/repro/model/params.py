@@ -17,6 +17,7 @@ pass is ``y = x @ W``; a fault in ``W[r, c]`` therefore corrupts column
 from __future__ import annotations
 
 import hashlib
+import json
 from pathlib import Path
 from typing import Iterator
 
@@ -30,7 +31,134 @@ __all__ = [
     "block_linear_layers",
     "LINEAR_LAYER_NAMES",
     "MOE_LINEAR_LAYER_NAMES",
+    "ARENA_SCHEMA_VERSION",
+    "write_arena",
+    "open_arena",
+    "arena_nbytes",
+    "arena_valid",
 ]
+
+# ----------------------------------------------------------------------------
+# Shared-memory arenas: a directory holding one flat binary file of
+# concatenated tensors plus a JSON index describing their layout.  The
+# arena is written once (per zoo build or per campaign) and mapped
+# read-only by any number of processes; the OS page cache backs every
+# mapping with the same physical pages, so N campaign workers pay for
+# one copy of the weights instead of N.
+# ----------------------------------------------------------------------------
+
+ARENA_SCHEMA_VERSION = 1
+_ARENA_ALIGN = 64
+"""Tensor offsets are aligned so every view starts on a cache line."""
+
+_ARENA_BIN = "arena.bin"
+_ARENA_INDEX = "index.json"
+
+
+def _align(offset: int) -> int:
+    return (offset + _ARENA_ALIGN - 1) // _ARENA_ALIGN * _ARENA_ALIGN
+
+
+def write_arena(
+    directory: str | Path,
+    arrays: dict[str, np.ndarray],
+    meta: dict | None = None,
+) -> Path:
+    """Serialize named arrays into a memory-mappable arena directory.
+
+    Layout: ``arena.bin`` holds the tensors' raw bytes back to back
+    (64-byte aligned, insertion order preserved); ``index.json`` maps
+    each name to ``(dtype, shape, offset)`` plus caller metadata.  The
+    index is written *last*, so a directory without one is an aborted
+    write and readers treat it as absent — re-exporting over it is
+    always safe.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    index_path = directory / _ARENA_INDEX
+    index_path.unlink(missing_ok=True)  # invalidate while rewriting
+    entries = []
+    offset = 0
+    with (directory / _ARENA_BIN).open("wb") as fh:
+        for name, array in arrays.items():
+            shape = list(np.asarray(array).shape)
+            # ascontiguousarray promotes 0-d to 1-d; the index keeps
+            # the original shape so attachment round-trips exactly.
+            array = np.ascontiguousarray(array)
+            offset = _align(offset)
+            fh.seek(offset)
+            fh.write(array.tobytes())
+            entries.append(
+                {
+                    "name": name,
+                    "dtype": array.dtype.str,
+                    "shape": shape,
+                    "offset": offset,
+                    "nbytes": array.nbytes,
+                }
+            )
+            offset += array.nbytes
+        fh.flush()
+    index = {
+        "schema_version": ARENA_SCHEMA_VERSION,
+        "total_bytes": offset,
+        "meta": meta or {},
+        "arrays": entries,
+    }
+    # No sort_keys: dict order in ``meta`` is semantic (an attached
+    # engine must enumerate its stores in the exporter's order, or
+    # uniform site sampling would pick different layers per process).
+    index_path.write_text(json.dumps(index, indent=1))
+    return directory
+
+
+def open_arena(directory: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Map an arena read-only; returns ``(name -> view, meta)``.
+
+    Every returned array is a zero-copy, non-writeable view into one
+    shared ``np.memmap`` of ``arena.bin`` — attaching from many
+    processes shares physical pages.  Mutating a view raises; consumers
+    that need to write (weight-fault trials) must copy first
+    (copy-on-write at tensor granularity).
+    """
+    directory = Path(directory)
+    index = json.loads((directory / _ARENA_INDEX).read_text())
+    version = index.get("schema_version")
+    if version != ARENA_SCHEMA_VERSION:
+        raise ValueError(
+            f"arena schema mismatch in {directory}: file has {version!r},"
+            f" this build reads {ARENA_SCHEMA_VERSION}"
+        )
+    mm = np.memmap(directory / _ARENA_BIN, dtype=np.uint8, mode="r")
+    arrays: dict[str, np.ndarray] = {}
+    for entry in index["arrays"]:
+        start = entry["offset"]
+        raw = mm[start : start + entry["nbytes"]]
+        arrays[entry["name"]] = raw.view(entry["dtype"]).reshape(
+            entry["shape"]
+        )
+    return arrays, index["meta"]
+
+
+def arena_nbytes(directory: str | Path) -> int:
+    """Total tensor bytes stored in an arena (index-reported)."""
+    index = json.loads((Path(directory) / _ARENA_INDEX).read_text())
+    return int(index["total_bytes"])
+
+
+def arena_valid(directory: str | Path) -> bool:
+    """Whether ``directory`` holds a complete, readable arena."""
+    directory = Path(directory)
+    if not (directory / _ARENA_INDEX).exists():
+        return False
+    try:
+        index = json.loads((directory / _ARENA_INDEX).read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return (
+        index.get("schema_version") == ARENA_SCHEMA_VERSION
+        and (directory / _ARENA_BIN).exists()
+    )
 
 # Linear layers inside a dense transformer block -- the FI target set
 # (the paper restricts injection to linear layers in the blocks, which
@@ -72,6 +200,9 @@ class ParamStore:
     def __init__(self, config: ModelConfig, params: dict[str, np.ndarray]) -> None:
         self.config = config
         self._params = dict(params)
+        self.shared_dir: Path | None = None
+        """Arena directory backing this store's arrays, when it was
+        opened via :meth:`open_shared` (views are then read-only)."""
 
     def __getitem__(self, name: str) -> np.ndarray:
         return self._params[name]
@@ -125,6 +256,36 @@ class ParamStore:
             digest.update(name.encode())
             digest.update(np.ascontiguousarray(self._params[name]).tobytes())
         return digest.hexdigest()[:16]
+
+    # -- shared (memory-mapped) backing --------------------------------------
+
+    def to_shared(self, directory: str | Path) -> "ParamStore":
+        """Export into a read-only mmap arena and return the shared view.
+
+        The returned store's :meth:`fingerprint` is bit-identical to
+        this one's (same config JSON, same parameter bytes); its arrays
+        are zero-copy views any number of processes can attach to via
+        :meth:`open_shared` without duplicating the weights.
+        """
+        write_arena(
+            directory,
+            self._params,
+            meta={"kind": "param-store", "config": self.config.to_json()},
+        )
+        return ParamStore.open_shared(directory)
+
+    @staticmethod
+    def open_shared(directory: str | Path) -> "ParamStore":
+        """Attach to an arena written by :meth:`to_shared` (zero-copy)."""
+        arrays, meta = open_arena(directory)
+        if meta.get("kind") != "param-store":
+            raise ValueError(
+                f"{directory} is not a ParamStore arena"
+                f" (kind={meta.get('kind')!r})"
+            )
+        store = ParamStore(ModelConfig.from_json(meta["config"]), arrays)
+        store.shared_dir = Path(directory)
+        return store
 
     # -- persistence --------------------------------------------------------
 

@@ -189,6 +189,12 @@ def render_report(run: RunData) -> str:
             f"{k}={v}" for k, v in sorted(manifest.get("packages", {}).items())
         ),
     ]
+    scaleout = manifest.get("scaleout")
+    if scaleout:
+        lines.append(
+            f"scale-out      {scaleout.get('workers')} workers,"
+            f" shared arena {scaleout.get('arena_bytes', 0) / 1e6:.1f} MB"
+        )
     lines += _span_section(run)
     lines += _histogram_section(run)
     lines += _scalar_section(run)

@@ -36,6 +36,10 @@ class Telemetry:
         self.extra_records: list[dict] = []
         """Result records (campaign rows, experiment tables) appended
         to the exported run so provenance and results travel together."""
+        self.manifest_extra: dict = {}
+        """Run-level fields merged into the exported manifest (e.g.
+        the campaign pool's ``scaleout`` worker-count/arena-bytes
+        block), so ``repro obs report`` shows execution health."""
         self.out_path: Path | None = None
 
     # -- lifecycle -------------------------------------------------------------
@@ -56,6 +60,7 @@ class Telemetry:
         self.metrics.reset()
         self.marks.clear()
         self.extra_records.clear()
+        self.manifest_extra.clear()
         self.out_path = None
 
     def record(self, kind: str, **fields) -> None:
@@ -92,7 +97,12 @@ class Telemetry:
         path = path or self.out_path
         if path is None:
             return None
-        manifest = build_manifest(seed=seed, config=config, command=command)
+        manifest = build_manifest(
+            seed=seed,
+            config=config,
+            command=command,
+            extra=self.manifest_extra or None,
+        )
         return write_run(
             path,
             manifest,

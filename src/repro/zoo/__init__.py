@@ -8,6 +8,7 @@ from repro.zoo.build import (
     default_tokenizer,
     default_world,
     load_model,
+    sidecar_path,
 )
 from repro.zoo.registry import ZOO, ZooSpec, draft_for, get_spec, zoo_names
 
@@ -23,5 +24,6 @@ __all__ = [
     "draft_for",
     "get_spec",
     "load_model",
+    "sidecar_path",
     "zoo_names",
 ]

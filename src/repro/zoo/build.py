@@ -18,7 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.model.params import ParamStore
+from repro.model.params import ParamStore, arena_valid
 from repro.model.transformer import TransformerLM
 from repro.obs.runtime import telemetry as _telemetry
 from repro.tasks import World, all_tasks
@@ -39,6 +39,7 @@ __all__ = [
     "load_model",
     "build_model",
     "cache_path",
+    "sidecar_path",
 ]
 
 WORLD_SEED = 2025
@@ -88,6 +89,18 @@ def cache_path(name: str, directory: Path | None = None) -> Path:
     spec = get_spec(name)
     directory = directory or artifacts_dir()
     return directory / f"{name}-{_spec_hash(spec, len(tokenizer))}.npz"
+
+
+def sidecar_path(name: str, directory: Path | None = None) -> Path:
+    """The model's mmap-arena sidecar directory, next to its ``.npz``.
+
+    Same stem as :func:`cache_path` (the spec hash keys both), so the
+    cache naming scheme is unchanged — the sidecar is an *additional*
+    representation of the same bytes, preferred on load because
+    attaching a memory map skips ``.npz`` decompression entirely and
+    lets concurrent campaigns share one physical copy of the weights.
+    """
+    return cache_path(name, directory).with_suffix(".arena")
 
 
 def _build_stream(
@@ -158,11 +171,34 @@ def load_model(
     directory: Path | None = None,
     verbose: bool = True,
     rebuild: bool = False,
+    prefer_shared: bool = True,
 ) -> ParamStore:
-    """Load the named model from cache, building (and caching) on miss."""
+    """Load the named model from cache, building (and caching) on miss.
+
+    Warm loads prefer the mmap arena sidecar (zero-copy attach, no
+    decompression); a cache written before the sidecar existed — or
+    with a torn sidecar from an interrupted write — regenerates it
+    from the ``.npz`` once and notes the repair.  ``prefer_shared=False``
+    forces the legacy decompressed load (private writable arrays).
+    """
     path = cache_path(name, directory)
+    sidecar = path.with_suffix(".arena")
     if path.exists() and not rebuild:
-        return ParamStore.load(path)
+        if not prefer_shared:
+            return ParamStore.load(path)
+        if arena_valid(sidecar):
+            return ParamStore.open_shared(sidecar)
+        store = ParamStore.load(path).to_shared(sidecar)
+        _telemetry().log(
+            f"[zoo:{name}] regenerated mmap sidecar {sidecar.name}"
+            " (cache predates the shared-arena fast path)",
+            echo=verbose,
+            model=name,
+            sidecar=str(sidecar),
+        )
+        return store
     store = build_model(name, directory=directory, verbose=verbose)
     store.save(path)
+    if prefer_shared:
+        return store.to_shared(sidecar)
     return store

@@ -336,6 +336,12 @@ class TestCampaignTelemetry:
             for name in tel.metrics.histograms
         )
 
+    # Execution-health telemetry that exists only in pooled runs (pool
+    # spinup, arena attachment, work stealing) — set aside when
+    # comparing the merged science counters/spans against serial.
+    POOL_ONLY_COUNTERS = ("campaign.shared_attach", "campaign.steals")
+    POOL_ONLY_SPANS = ("campaign.pool_spinup",)
+
     def test_multiprocess_merge_matches_serial(
         self, untrained_store, tokenizer, world, clean_telemetry
     ):
@@ -362,11 +368,26 @@ class TestCampaignTelemetry:
                 6, n_workers=n_workers
             )
             snapshot = tel.metrics.snapshot()
-            assert snapshot["counters"] == serial_counters
+            merged_counters = {
+                k: v
+                for k, v in snapshot["counters"].items()
+                if k not in self.POOL_ONLY_COUNTERS
+            }
+            assert merged_counters == serial_counters
+            # The persistent pool attaches each worker to the shared
+            # arena exactly once.
+            assert (
+                snapshot["counters"]["campaign.shared_attach"] == n_workers
+            )
             assert {
                 k: len(v) for k, v in snapshot["histograms"].items()
             } == serial_hist_counts
-            assert sorted(r.name for r in tel.tracer.records) == serial_span_names
+            merged_span_names = sorted(
+                r.name
+                for r in tel.tracer.records
+                if r.name not in self.POOL_ONLY_SPANS
+            )
+            assert merged_span_names == serial_span_names
             span_ids = [r.span_id for r in tel.tracer.records]
             assert len(span_ids) == len(set(span_ids))
 
