@@ -1,0 +1,227 @@
+"""Serving-loop load benchmark: offered load vs throughput and SLOs.
+
+Drives the multi-tenant streaming :class:`repro.serve.InferenceServer`
+with the open-loop Poisson load generator: thousands of synthetic
+concurrent users submitting prompt shapes drawn from the paper's four
+generative workloads (gsm8k / wmt16 / xlsum / squadv2).  Three phases:
+
+1. **Equivalence gate** — every distinct prompt is served concurrently
+   and compared token-for-token against a serial ``greedy_decode``
+   reference; the script exits non-zero on any divergence, so timing
+   never happens on wrong outputs.
+2. **Serial baseline** — one-request-at-a-time greedy decoding of the
+   same workload (the pre-serving library-call posture): the
+   tokens/sec floor the server must beat.
+3. **Offered-load sweep** — Poisson arrivals at multiples of the
+   serial request rate (0.5x .. 8x); each point reports completed /
+   shed counts, served tokens/sec and p50/p99 TTFT, end-to-end latency
+   and TPOT from per-request handle timings.
+
+The committed full-run artifact must show served throughput at
+saturation >= 2x the serial baseline (asserted here and by
+``scripts/check_bench.py``).  Writes ``BENCH_serve.json`` under
+``artifacts/results/`` and copies it to the repo root.  Standalone so
+CI can run the 2-second smoke burst::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import replace
+
+from repro.generation.decode import GenerationConfig, greedy_decode
+from repro.inference import InferenceEngine
+from repro.model import ModelConfig, TransformerLM
+from repro.obs import build_manifest
+from repro.serve import InferenceServer, TenantConfig, run_load
+from repro.serve.loadgen import PromptSpec, equivalence_gate, mixed_task_prompts
+
+SEED = 20260807
+# eos outside the vocab: every request decodes its full budget, so
+# token counts (and therefore throughput) are deterministic.
+NO_EOS = -1
+LOAD_MULTIPLES = (0.5, 1.0, 2.0, 4.0, 8.0)
+SMOKE_MULTIPLES = (1.0, 4.0)
+
+
+def _prompts(smoke: bool) -> list[PromptSpec]:
+    return mixed_task_prompts(per_task=2 if smoke else 6)
+
+
+def _engine(prompts: list[PromptSpec], smoke: bool) -> InferenceEngine:
+    from repro.zoo.build import default_tokenizer
+
+    need = max(len(spec.ids) + spec.max_new for spec in prompts) + 8
+    config = ModelConfig(
+        vocab_size=len(default_tokenizer()),
+        d_model=32 if smoke else 64,
+        n_heads=4,
+        n_blocks=2 if smoke else 3,
+        d_ff=48 if smoke else 128,
+        max_seq=need,
+    )
+    return InferenceEngine(TransformerLM(config, seed=11).to_store())
+
+
+def bench_serial(
+    engine: InferenceEngine,
+    config: GenerationConfig,
+    prompts: list[PromptSpec],
+    smoke: bool,
+) -> dict:
+    """One-request-at-a-time greedy decoding: the pre-serving posture."""
+
+    def sweep() -> int:
+        tokens = 0
+        for spec in prompts:
+            out = greedy_decode(
+                engine,
+                list(spec.ids),
+                replace(config, max_new_tokens=spec.max_new),
+                strategy="serial",
+            )
+            tokens += len(out)
+        return tokens
+
+    rounds = 1 if smoke else 2
+    best_wall = float("inf")
+    tokens = 0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        tokens = sweep()
+        best_wall = min(best_wall, time.perf_counter() - t0)
+    return {
+        "n_requests": len(prompts),
+        "tokens": tokens,
+        "wall_s": best_wall,
+        "tokens_per_sec": tokens / best_wall,
+        "requests_per_sec": len(prompts) / best_wall,
+    }
+
+
+def bench_sweep(
+    engine: InferenceEngine,
+    config: GenerationConfig,
+    prompts: list[PromptSpec],
+    serial_rps: float,
+    smoke: bool,
+    max_batch: int,
+    n_users: int,
+) -> list[dict]:
+    """Open-loop Poisson sweep at multiples of the serial request rate.
+
+    Each point gets a fresh server (fresh pool, empty queues) so load
+    points never contaminate each other's latency tails.
+    """
+    duration = 1.0 if smoke else 6.0
+    points = []
+    for multiple in SMOKE_MULTIPLES if smoke else LOAD_MULTIPLES:
+        offered = serial_rps * multiple
+        server = InferenceServer(
+            engine,
+            config,
+            max_batch=max_batch,
+            tenants=[TenantConfig("loadgen", max_queue=10_000)],
+        )
+        with server:
+            report = run_load(
+                server,
+                prompts,
+                offered_rps=offered,
+                duration_s=duration,
+                seed=SEED,
+                tenant="loadgen",
+                n_users=n_users,
+            )
+        point = report.to_dict()
+        point["load_multiple"] = multiple
+        points.append(point)
+        print(
+            f"  {multiple:4.1f}x ({offered:7.2f} rps):"
+            f" {report.completed:4d} done {report.rejected:3d} shed"
+            f" {report.throughput_tps:8.1f} tok/s"
+            f"  ttft p50/p99 {report.ttft_ms['p50']:6.1f}/"
+            f"{report.ttft_ms['p99']:6.1f} ms"
+            f"  e2e p50/p99 {report.latency_ms['p50']:6.1f}/"
+            f"{report.latency_ms['p99']:6.1f} ms"
+        )
+    return points
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    prompts = _prompts(args.smoke)
+    engine = _engine(prompts, args.smoke)
+    config = GenerationConfig(
+        max_new_tokens=max(spec.max_new for spec in prompts), eos_id=NO_EOS
+    )
+    max_batch = 4 if args.smoke else 8
+    n_users = 200 if args.smoke else 2000
+
+    checked = equivalence_gate(engine, config, prompts, max_batch=max_batch)
+    print(f"equivalence gate: {checked} served streams token-identical"
+          f" to serial greedy_decode")
+
+    serial = bench_serial(engine, config, prompts, args.smoke)
+    print(
+        f"serial baseline: {serial['tokens_per_sec']:.1f} tok/s"
+        f" ({serial['requests_per_sec']:.2f} rps,"
+        f" {serial['n_requests']} requests)"
+    )
+    sweep = bench_sweep(
+        engine,
+        config,
+        prompts,
+        serial["requests_per_sec"],
+        args.smoke,
+        max_batch,
+        n_users,
+    )
+    max_tps = max(point["throughput_tps"] for point in sweep)
+    speedup = max_tps / serial["tokens_per_sec"]
+    print(f"saturation: {max_tps:.1f} tok/s = {speedup:.2f}x serial")
+    if not args.smoke and speedup < 2.0:
+        raise SystemExit(
+            f"served throughput at saturation only {speedup:.2f}x the"
+            f" serial baseline (need >= 2x)"
+        )
+
+    payload = {
+        "bench_id": "serve",
+        "title": "Streaming server under open-loop Poisson load",
+        "smoke": args.smoke,
+        "equivalence": {"checked": checked, "identical": True},
+        "serial": serial,
+        "sweep": sweep,
+        "overall": {
+            "max_throughput_tps": max_tps,
+            "serial_tokens_per_sec": serial["tokens_per_sec"],
+            "speedup_vs_serial": speedup,
+            "max_batch": max_batch,
+            "n_prompts": len(prompts),
+            "n_users": n_users,
+            "smoke": args.smoke,
+        },
+        "manifest": build_manifest(
+            seed=SEED,
+            config={"bench": "serve", "smoke": args.smoke},
+            command="bench:serve",
+        ),
+    }
+
+    from conftest import write_bench_json
+
+    out, root_copy = write_bench_json("serve", payload, out=args.out)
+    print(f"wrote {out} (+ {root_copy})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

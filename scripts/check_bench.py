@@ -14,7 +14,10 @@ until a downstream reader breaks.  This checker pins the contract:
 * bench-specific shape checks where a downstream reader depends on
   one (``BENCH_scaleout.json``: per-fault-model rows with equivalence
   flags, and an ``overall`` block with the speedup/memory numbers the
-  README cites).
+  README cites; ``BENCH_serve.json``: a passing served-vs-serial
+  equivalence gate, a monotonically increasing offered-load sweep with
+  finite p50/p99 TTFT/latency fields, and — on full runs — saturation
+  throughput >= 2x the serial baseline).
 
 Exit status is non-zero on any violation; CI runs this in the tier-1
 job.
@@ -97,7 +100,81 @@ def _check_scaleout(payload: dict) -> list[str]:
     return problems
 
 
-BENCH_CHECKS = {"scaleout": _check_scaleout}
+def _finite(value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def _check_serve(payload: dict) -> list[str]:
+    """Shape check for the serving artifact: the README quotes its
+    saturation speedup, CI trusts its equivalence gate, and the sweep
+    is only meaningful if offered load actually sweeps upward with sane
+    percentile fields."""
+    problems = []
+    equivalence = payload.get("equivalence")
+    if not isinstance(equivalence, dict) \
+            or equivalence.get("identical") is not True:
+        problems.append("serve: equivalence.identical must be true")
+    elif not isinstance(equivalence.get("checked"), int) \
+            or equivalence["checked"] < 1:
+        problems.append("serve: equivalence.checked must be a positive int")
+    serial = payload.get("serial")
+    if not isinstance(serial, dict) \
+            or not _finite(serial.get("tokens_per_sec")) \
+            or serial["tokens_per_sec"] <= 0:
+        problems.append("serve: serial.tokens_per_sec must be positive")
+    sweep = payload.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        return problems + ["serve: missing or empty 'sweep'"]
+    previous_rps = 0.0
+    for i, point in enumerate(sweep):
+        if not isinstance(point, dict):
+            problems.append(f"serve: sweep[{i}] must be an object")
+            continue
+        rps = point.get("offered_rps")
+        if not _finite(rps) or rps <= 0:
+            problems.append(f"serve: sweep[{i}].offered_rps must be positive")
+        elif rps <= previous_rps:
+            problems.append(
+                f"serve: sweep[{i}].offered_rps must increase monotonically"
+            )
+        else:
+            previous_rps = rps
+        if not _finite(point.get("throughput_tps")) \
+                or point["throughput_tps"] <= 0:
+            problems.append(
+                f"serve: sweep[{i}].throughput_tps must be positive"
+            )
+        for field in ("ttft_ms", "latency_ms"):
+            quantiles = point.get(field)
+            if not isinstance(quantiles, dict) \
+                    or not _finite(quantiles.get("p50")) \
+                    or not _finite(quantiles.get("p99")):
+                problems.append(
+                    f"serve: sweep[{i}].{field} needs finite p50/p99"
+                )
+            elif quantiles["p99"] < quantiles["p50"]:
+                problems.append(
+                    f"serve: sweep[{i}].{field}.p99 below p50"
+                )
+    overall = payload.get("overall")
+    if not isinstance(overall, dict):
+        return problems + ["serve: missing or non-object 'overall'"]
+    if not _finite(overall.get("speedup_vs_serial")):
+        problems.append("serve: overall.speedup_vs_serial must be finite")
+    elif overall.get("smoke") is not True \
+            and overall["speedup_vs_serial"] < 2.0:
+        problems.append(
+            "serve: full-run saturation throughput must be >= 2x the"
+            f" serial baseline, got {overall['speedup_vs_serial']:.2f}x"
+        )
+    return problems
+
+
+BENCH_CHECKS = {"scaleout": _check_scaleout, "serve": _check_serve}
 
 
 def check_bench_file(path: Path) -> list[str]:

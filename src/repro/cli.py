@@ -18,6 +18,11 @@ Commands
     ``--draft-model NAME --spec-depth GAMMA`` speculatively decodes
     fault-free generative baselines with a small draft model (injected
     trials keep the exact serial path).
+``serve MODEL [--rps R ...] [--duration S]``
+    Run the multi-tenant streaming inference server under an open-loop
+    Poisson load sweep (mixed gsm8k/wmt16/xlsum/squadv2 prompt shapes);
+    prints per-point throughput and p50/p99 TTFT / end-to-end latency
+    after a served-vs-serial token-identity gate.
 ``experiment ID [...]``
     Reproduce one paper table/figure (e.g. ``fig17``, ``table2``).
 ``obs report RUN.jsonl [RUN2.jsonl ...]``
@@ -186,6 +191,51 @@ def build_parser() -> argparse.ArgumentParser:
         " records in the telemetry run; implies --trace)",
     )
     _add_obs_flags(campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming inference server under a Poisson load"
+        " sweep and print SLO statistics",
+    )
+    serve.add_argument("model", choices=zoo_names())
+    serve.add_argument(
+        "--rps",
+        type=float,
+        nargs="+",
+        default=[4.0],
+        metavar="R",
+        help="offered load point(s) in requests/sec (several: a sweep)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="submission window per offered-load point",
+    )
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument(
+        "--per-task",
+        type=int,
+        default=4,
+        metavar="N",
+        help="prompt shapes drawn per generative task"
+        " (gsm8k/wmt16/xlsum/squadv2)",
+    )
+    serve.add_argument(
+        "--max-new-tokens",
+        type=int,
+        default=None,
+        help="override per-task token budgets with a fixed budget",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--skip-equivalence",
+        action="store_true",
+        help="skip the served-vs-serial token-identity gate before the"
+        " load sweep",
+    )
+    _add_obs_flags(serve)
 
     experiment = sub.add_parser(
         "experiment", help="reproduce one paper table/figure"
@@ -442,6 +492,59 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.generation.decode import GenerationConfig
+    from repro.harness.context import ExperimentContext
+    from repro.obs import telemetry
+    from repro.serve import InferenceServer
+    from repro.serve.loadgen import equivalence_gate, mixed_task_prompts, run_load
+
+    ctx = ExperimentContext(seed=args.seed)
+    engine = ctx.engine(args.model)
+    prompts = mixed_task_prompts(
+        world=ctx.world, tokenizer=ctx.tokenizer, per_task=args.per_task
+    )
+    if args.max_new_tokens is not None:
+        from dataclasses import replace as _replace
+
+        prompts = [
+            _replace(p, max_new=args.max_new_tokens) for p in prompts
+        ]
+    config = GenerationConfig(
+        max_new_tokens=max(p.max_new for p in prompts),
+        eos_id=ctx.tokenizer.vocab.eos_id,
+    )
+    if not args.skip_equivalence:
+        checked = equivalence_gate(
+            engine, config, prompts, max_batch=args.max_batch
+        )
+        print(f"equivalence gate: {checked} prompts served token-identical"
+              f" to serial greedy_decode")
+    tel = telemetry()
+    header = (f"{'rps':>8s} {'done':>6s} {'shed':>5s} {'tok/s':>8s}"
+              f" {'ttft p50':>9s} {'ttft p99':>9s} {'e2e p50':>9s}"
+              f" {'e2e p99':>9s}")
+    print(header)
+    for rps in args.rps:
+        with InferenceServer(engine, config, max_batch=args.max_batch) as srv:
+            report = run_load(
+                srv,
+                prompts,
+                offered_rps=rps,
+                duration_s=args.duration,
+                seed=args.seed,
+            )
+        print(
+            f"{report.offered_rps:8.2f} {report.completed:6d}"
+            f" {report.rejected:5d} {report.throughput_tps:8.1f}"
+            f" {report.ttft_ms['p50']:8.1f}ms {report.ttft_ms['p99']:8.1f}ms"
+            f" {report.latency_ms['p50']:8.1f}ms"
+            f" {report.latency_ms['p99']:8.1f}ms"
+        )
+        tel.record("serve_load_point", **report.to_dict())
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.obs import telemetry
 
@@ -499,6 +602,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_eval(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
     finally:

@@ -50,7 +50,6 @@ import json
 import math
 import multiprocessing as mp
 import os
-import queue as queue_mod
 import shutil
 import signal
 import tempfile
@@ -60,6 +59,7 @@ import weakref
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from pathlib import Path
 
 import numpy as np
@@ -69,7 +69,7 @@ from repro.fi.fault_models import FaultModel
 from repro.fi.injector import inject
 from repro.fi.outcomes import Outcome, classify_direct_answer, classify_generative
 from repro.fi.sites import FaultSite, LayerFilter, sample_site
-from repro.generation.batched import BatchedDecoder
+from repro.generation.batched import BatchedDecoder, decode_batching_safe
 from repro.generation.decode import GenerationConfig, choose_option, generate_ids
 from repro.generation.speculative import SpeculativeDecoder
 from repro.inference.engine import CaptureState, InferenceEngine
@@ -293,6 +293,9 @@ def _attach_worker_campaign(arena_root: Path, campaign_state: dict) -> "FICampai
     campaign._prefill_sessions = {}
     campaign._pool = None
     campaign._arena = None
+    # Serving is a parent-process concern: a worker's engine is its own
+    # arena attachment, so server handles never cross the fork.
+    campaign._serve = None
     return campaign
 
 
@@ -302,11 +305,11 @@ def _pool_worker_main(
     telemetry_active: bool,
     flight_active: bool,
     task_q,
-    result_q,
+    result_conn,
 ) -> None:
     """Persistent pool worker: attach to the arena, then serve trials.
 
-    Messages on ``result_q`` are ``(kind, pid, trial, body)``:
+    Messages on ``result_conn`` are ``(kind, pid, trial, body)``:
 
     * ``("ready", pid, None, None)`` — attached and idle;
     * ``("start", pid, trial, None)`` — began executing ``trial`` (the
@@ -315,6 +318,14 @@ def _pool_worker_main(
     * ``("ok", pid, trial, (record, payload))`` — trial finished;
     * ``("err", pid, trial, "Type: msg")`` — trial raised (the worker
       already ran ``_post_failure_repair`` and is reusable).
+
+    ``result_conn`` is this worker's *private* pipe to the supervisor.
+    A shared results queue would serialize all workers through one
+    write lock — and a worker SIGKILLed (deadline) or ``os._exit``ed
+    (crash) while holding it would orphan the lock and wedge every
+    surviving sibling mid-``put``, deadlocking the whole pool.  With
+    one single-writer pipe per worker, a death can corrupt at most its
+    own channel, which the supervisor detects as EOF and discards.
 
     The loop exits on a ``None`` sentinel or a closed task queue.
     """
@@ -336,7 +347,10 @@ def _pool_worker_main(
         recorder.reset()
         recorder.arm()
     pid = os.getpid()
-    result_q.put(("ready", pid, None, None))
+    try:
+        result_conn.send(("ready", pid, None, None))
+    except (BrokenPipeError, OSError):
+        return
     while True:
         try:
             task = task_q.get()
@@ -346,14 +360,16 @@ def _pool_worker_main(
             return
         trial, attempt = task
         try:
-            result_q.put(("start", pid, trial, None))
+            result_conn.send(("start", pid, trial, None))
             try:
                 record, payload = _worker_run_one((trial, attempt))
             except Exception as exc:  # noqa: BLE001 — shipped to supervisor
-                result_q.put(("err", pid, trial, f"{type(exc).__name__}: {exc}"))
+                result_conn.send(
+                    ("err", pid, trial, f"{type(exc).__name__}: {exc}")
+                )
             else:
-                result_q.put(("ok", pid, trial, (record, payload)))
-        except (BrokenPipeError, KeyboardInterrupt):
+                result_conn.send(("ok", pid, trial, (record, payload)))
+        except (BrokenPipeError, OSError, KeyboardInterrupt):
             return
 
 
@@ -460,7 +476,11 @@ class CampaignPool:
         self.n_workers = n_workers
         self.telemetry_active = bool(spawn_args[2])
         self.flight_active = bool(spawn_args[3])
-        self.result_q = self._ctx.Queue()
+        # One private result pipe per worker (single writer, no shared
+        # lock): a worker killed mid-send can only corrupt its own
+        # channel, never block a sibling's results.
+        self._conns: dict[int, object] = {}  # pid -> parent-side reader
+        self._buffered: deque = deque()  # messages drained off dead conns
         self._workers: dict[int, tuple] = {}  # pid -> (proc, task_q)
         self._idle: set[int] = set()
         self._ready: set[int] = set()
@@ -478,13 +498,20 @@ class CampaignPool:
     def spawn_worker(self) -> int:
         """Fork one worker; it announces itself with a "ready" message."""
         task_q = self._ctx.SimpleQueue()
+        r_conn, w_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=_pool_worker_main,
-            args=(*self._spawn_args, task_q, self.result_q),
+            args=(*self._spawn_args, task_q, w_conn),
             daemon=True,
         )
         proc.start()
+        # Drop the parent's copy of the write end: the worker must be
+        # the *only* writer so its death EOFs the reader.  (Forking the
+        # next worker after this close also keeps siblings from
+        # inheriting each other's write ends.)
+        w_conn.close()
         self._workers[proc.pid] = (proc, task_q)
+        self._conns[proc.pid] = r_conn
         self.spawning += 1
         return proc.pid
 
@@ -532,7 +559,13 @@ class CampaignPool:
         self._ready.clear()
         self.in_flight.clear()
         self.spawning = 0
-        self.result_q.close()
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._conns.clear()
+        self._buffered.clear()
         self._finalizer.detach()
 
     # -- scheduling --------------------------------------------------------
@@ -554,12 +587,55 @@ class CampaignPool:
         self._workers[pid][1].put((trial, attempt))
         return pid
 
+    def _recv(self, timeout: float):
+        """One message from any worker pipe (or ``None`` on timeout).
+
+        A readable connection that raises on ``recv`` belongs to a
+        worker that died mid-frame; its channel is discarded — the
+        process itself is collected by ``reap_dead``.
+        """
+        if self._buffered:
+            return self._buffered.popleft()
+        if not self._conns:
+            time.sleep(timeout)
+            return None
+        for conn in mp_connection.wait(list(self._conns.values()), timeout):
+            try:
+                return conn.recv()
+            except (EOFError, OSError):
+                self._discard_conn(conn)
+        return None
+
+    def _discard_conn(self, conn) -> None:
+        for pid, c in list(self._conns.items()):
+            if c is conn:
+                del self._conns[pid]
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _drain_conn(self, pid: int) -> None:
+        """Salvage any fully-delivered messages a dead worker left in
+        its pipe (e.g. a final "ok" racing the death) before closing."""
+        conn = self._conns.pop(pid, None)
+        if conn is None:
+            return
+        try:
+            while conn.poll(0):
+                self._buffered.append(conn.recv())
+        except (EOFError, OSError):
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
     def poll(self, timeout: float):
         """Next worker message (or ``None`` on timeout), with pool
         bookkeeping (idle/ready/in-flight transitions) already applied."""
-        try:
-            msg = self.result_q.get(timeout=timeout)
-        except queue_mod.Empty:
+        msg = self._recv(timeout)
+        if msg is None:
             return None
         kind, pid, trial, _body = msg
         if kind == "ready":
@@ -586,6 +662,7 @@ class CampaignPool:
             if proc.is_alive():
                 continue
             proc.join()
+            self._drain_conn(pid)
             entry = self.in_flight.pop(pid, None)
             if pid not in self._ready:
                 self.spawning = max(0, self.spawning - 1)
@@ -613,6 +690,14 @@ class CampaignPool:
         proc, _task_q = entry
         proc.kill()
         proc.join(5.0)
+        # No salvage here: the worker was killed *because* its trial is
+        # suspect; anything left on its pipe is stale.
+        conn = self._conns.pop(pid, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
         self.in_flight.pop(pid, None)
         self._idle.discard(pid)
         self._ready.discard(pid)
@@ -713,6 +798,11 @@ class FICampaign:
         self._pool: CampaignPool | None = None
         """Persistent pre-forked worker pool; survives across
         ``run()``/``resume()`` boundaries until :meth:`close_pool`."""
+        self._serve = None
+        """Optional attached :class:`~repro.serve.server.InferenceServer`
+        (:meth:`attach_server`): fault-free generative baselines submit
+        as tenant traffic instead of monopolizing the engine."""
+        self._serve_tenant = "campaign"
 
     # -- stable trial identity ---------------------------------------------------
 
@@ -812,6 +902,62 @@ class FICampaign:
         assert self.engine.capture is not None
         return dict(self.engine.capture.expert_selections)
 
+    # -- serving integration -----------------------------------------------------
+
+    def attach_server(self, server, tenant: str = "campaign") -> None:
+        """Route fault-free generative baselines through a live
+        :class:`~repro.serve.server.InferenceServer` as tenant traffic.
+
+        The campaign becomes *just another tenant*: its baseline sweep
+        competes under the server's admission control and weighted
+        scheduling instead of monopolizing the engine with a blocking
+        library call.  Served tokens are greedy-identical to the local
+        path (the serve equivalence gate), so TrialRecords are
+        unchanged.  Injected trials always keep the exact local
+        reference path — fault arming and serving never mix; do not
+        run injected trials concurrently with other tenants' live
+        traffic on the same engine.
+        """
+        if self.is_mc:
+            raise ValueError("serving integration is generative-only")
+        if server.engine is not self.engine:
+            raise ValueError("server must wrap this campaign's engine")
+        if server.config.eos_id != self.generation.eos_id:
+            raise ValueError(
+                "server and campaign must agree on eos_id:"
+                f" server {server.config.eos_id},"
+                f" campaign {self.generation.eos_id}"
+            )
+        server.ensure_tenant(tenant)
+        self._serve = server
+        self._serve_tenant = tenant
+
+    def detach_server(self) -> None:
+        self._serve = None
+
+    def _serve_baseline(self, prompts: list[list[int]]) -> "list[str] | None":
+        """Submit the baseline sweep as tenant traffic; ``None`` when
+        the attached server cannot take it (not running, beams, armed
+        fault machinery) so the caller falls back to the local path."""
+        server = self._serve
+        if (
+            server is None
+            or not server.running
+            or self.generation.num_beams != 1
+            or self.draft_model is not None
+            or not decode_batching_safe(self.engine)
+        ):
+            return None
+        handles = [
+            server.submit(
+                prompt,
+                tenant=self._serve_tenant,
+                max_new_tokens=self.generation.max_new_tokens,
+            )
+            for prompt in prompts
+        ]
+        return [self.tokenizer.decode(h.result()) for h in handles]
+
     # -- baseline ----------------------------------------------------------------
 
     def compute_baseline(self) -> dict:
@@ -824,7 +970,10 @@ class FICampaign:
             and self.decode_strategy == "auto"
         ):
             prompts = [self.tokenizer.encode(ex.prompt) for ex in self.examples]
-            if self.draft_model is not None and self.generation.num_beams == 1:
+            served = self._serve_baseline(prompts)
+            if served is not None:
+                preds = served
+            elif self.draft_model is not None and self.generation.num_beams == 1:
                 # Fault-free greedy sweep with a draft available: this
                 # is the dominant campaign cost, so speculate (the
                 # decoder still falls back to serial if anything is
@@ -1405,7 +1554,8 @@ class FICampaign:
         instead — as are prefill sessions (rebuilt worker-side) and
         the pool/arena handles themselves.
         """
-        drop = {"engine", "draft_model", "_prefill_sessions", "_pool", "_arena"}
+        drop = {"engine", "draft_model", "_prefill_sessions", "_pool",
+                "_arena", "_serve"}
         return {k: v for k, v in self.__dict__.items() if k not in drop}
 
     def _ensure_pool(self, n_workers: int, tel) -> CampaignPool:

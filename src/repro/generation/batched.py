@@ -222,6 +222,10 @@ class BatchedDecoder:
             results[seq.index] = seq.out
             if seq.slot is not None:
                 pool.release(seq.slot)
+            if traced:
+                # Real admissible capacity, *after* the eager release —
+                # the serving loop admits against this gauge.
+                tel.metrics.gauge("decode.free_slots").set(pool.n_free)
 
         def admit(refill: bool) -> None:
             """Prefill the next pending prompt into a free slot; may
@@ -271,6 +275,8 @@ class BatchedDecoder:
         def fill(refill: bool) -> None:
             while pending and len(active) < self.max_batch:
                 admit(refill)
+            if traced:
+                tel.metrics.gauge("decode.free_slots").set(pool.n_free)
 
         fill(refill=False)
         while active:

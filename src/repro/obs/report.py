@@ -3,7 +3,10 @@
 Renders a telemetry run as aligned text tables: the manifest header,
 a span timing breakdown (grouped by span name), histogram quantiles
 (per-layer forward time, trial latency), counters (trials, tokens,
-injections, Masked/SDC outcome tallies) and gauges.
+injections, Masked/SDC outcome tallies) and gauges.  Runs that carry
+``serve.*`` instruments get a dedicated serving SLO section: TTFT /
+TPOT / end-to-end latency quantiles, per-tenant throughput and the
+load generator's offered-load sweep rows.
 """
 
 from __future__ import annotations
@@ -174,6 +177,96 @@ def _flight_section(run: RunData) -> list[str]:
     return lines
 
 
+def _serve_section(run: RunData) -> list[str]:
+    """Dedicated serving SLO view: TTFT / TPOT / end-to-end latency /
+    queue depth / batch occupancy quantiles, per-tenant throughput,
+    and any ``serve_load_point`` sweep rows the load generator
+    recorded."""
+    histograms = run.metrics.histograms
+    counters = run.metrics.counters
+    slo_names = [
+        name
+        for name in (
+            "serve.ttft_ms",
+            "serve.tpot_ms",
+            "serve.e2e_ms",
+            "serve.queue_depth",
+            "serve.batch_occupancy",
+        )
+        if name in histograms and histograms[name].summary()["count"] > 0
+    ]
+    tenant_tokens = sorted(
+        name
+        for name in counters
+        if name.startswith("serve.tenant.") and name.endswith(".tokens")
+    )
+    load_points = run.of_kind("serve_load_point")
+    if not slo_names and not tenant_tokens and not load_points:
+        return []
+    lines = ["", "== serving SLOs =="]
+    if slo_names:
+        rows = []
+        for name in slo_names:
+            summary = histograms[name].summary()
+            rows.append(
+                [
+                    name,
+                    str(summary["count"]),
+                    _fmt(summary["mean"]),
+                    _fmt(summary["p50"]),
+                    _fmt(summary["p95"]),
+                    _fmt(summary["p99"]),
+                    _fmt(summary["max"]),
+                ]
+            )
+        lines += _table(
+            ["instrument", "count", "mean", "p50", "p95", "p99", "max"], rows
+        )
+    if tenant_tokens:
+        rows = []
+        for name in tenant_tokens:
+            tenant = name[len("serve.tenant.") : -len(".tokens")]
+            requests = counters.get(f"serve.tenant.{tenant}.requests")
+            rows.append(
+                [
+                    tenant,
+                    _fmt(requests.value) if requests else "-",
+                    _fmt(counters[name].value),
+                ]
+            )
+        lines += ["", "== serving tenants =="]
+        lines += _table(["tenant", "requests", "tokens"], rows)
+    if load_points:
+        rows = [
+            [
+                _fmt(point.get("offered_rps", float("nan"))),
+                str(point.get("completed", "-")),
+                str(point.get("rejected", "-")),
+                _fmt(point.get("throughput_tps", float("nan"))),
+                _fmt(point.get("ttft_ms", {}).get("p50", float("nan"))),
+                _fmt(point.get("ttft_ms", {}).get("p99", float("nan"))),
+                _fmt(point.get("latency_ms", {}).get("p50", float("nan"))),
+                _fmt(point.get("latency_ms", {}).get("p99", float("nan"))),
+            ]
+            for point in load_points
+        ]
+        lines += ["", "== serving load sweep =="]
+        lines += _table(
+            [
+                "offered rps",
+                "done",
+                "shed",
+                "tok/s",
+                "ttft p50",
+                "ttft p99",
+                "e2e p50",
+                "e2e p99",
+            ],
+            rows,
+        )
+    return lines
+
+
 def render_report(run: RunData) -> str:
     manifest = run.manifest
     lines = [
@@ -198,6 +291,7 @@ def render_report(run: RunData) -> str:
     lines += _span_section(run)
     lines += _histogram_section(run)
     lines += _scalar_section(run)
+    lines += _serve_section(run)
     lines += _flight_section(run)
     lines += _derived_section(run)
     return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Multi-tenant streaming inference serving plane.
+
+Wraps the continuous-batching decode machinery in a long-running
+server: mid-flight admission, per-request token streaming, eager slot
+retirement, admission control and weighted fair scheduling across
+named tenants, with SLO telemetry (TTFT / TPOT / e2e latency / queue
+depth / batch occupancy) through the obs registry.
+"""
+
+from repro.serve.admission import ServeRejected, TenantConfig, WeightedScheduler
+from repro.serve.loadgen import LoadGenReport, run_load
+from repro.serve.server import InferenceServer, StreamHandle
+
+__all__ = [
+    "InferenceServer",
+    "StreamHandle",
+    "ServeRejected",
+    "TenantConfig",
+    "WeightedScheduler",
+    "LoadGenReport",
+    "run_load",
+]

@@ -1,0 +1,530 @@
+"""Multi-tenant streaming inference server over continuous batching.
+
+:class:`InferenceServer` turns the library-call decode paths into a
+long-running serving loop, the end-to-end setting the paper studies:
+
+* **Mid-flight admission** — a single pump thread owns the engine and
+  runs one continuous batch.  Every scheduling round it first admits
+  waiting requests into free :class:`~repro.inference.kvcache.PooledKVCache`
+  slots (prefill, first token), then advances all active rows with one
+  :meth:`~repro.inference.engine.InferenceEngine.forward_step_batch`.
+  New prompts join *between steps* — there is no drain-and-refill
+  barrier, so a long request never holds the batch hostage.
+* **Streaming** — ``submit`` returns a :class:`StreamHandle`
+  immediately; the pump pushes each generated token into the handle's
+  queue as it is decoded, so clients iterate tokens with time-to-first-
+  token independent of other requests' lengths.
+* **Eager retirement** — a row that hits EOS, its token budget or a
+  client cancellation is retired at step granularity and its KV slot
+  released immediately, back-filling the batch from the tenant queues.
+* **Admission control + fairness** — per-tenant bounded queues (shed
+  with typed :class:`~repro.serve.admission.ServeRejected`), per-tenant
+  in-flight caps, and smooth weighted round-robin dequeue across
+  tenants (:class:`~repro.serve.admission.WeightedScheduler`), so a
+  saturating tenant cannot starve a light one's TTFT.
+
+**Equivalence contract**: rows decode greedily via the same
+``forward_step_batch`` the :class:`~repro.generation.batched.BatchedDecoder`
+uses, with the same NaN-safe argmax rule — each served request's
+tokens are identical to a serial ``greedy_decode`` of its prompt
+(bit-identical at batch width 1, argmax-identical above; asserted
+token-for-token by the load generator's equivalence gate and the serve
+tests).  The server is a *fault-free* serving plane: campaigns attach
+as a tenant for their fault-free generative baselines
+(:meth:`~repro.fi.campaign.FICampaign.attach_server`) while injected
+trials keep their exact local path.
+
+Observability (gated on the process telemetry switch): ``serve.ttft_ms``
+/ ``serve.tpot_ms`` / ``serve.e2e_ms`` / ``serve.queue_depth`` /
+``serve.batch_occupancy`` quantile histograms, per-tenant
+``serve.tenant.<name>.*`` token/TTFT instruments, admission/shed
+counters, and the ``decode.free_slots`` gauge the admission loop also
+admits against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as _queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.generation.decode import GenerationConfig
+from repro.inference.engine import InferenceEngine
+from repro.inference.kvcache import KVCache, PooledKVCache
+from repro.obs.runtime import telemetry as _telemetry
+from repro.serve.admission import (
+    ServeRejected,
+    TenantConfig,
+    TenantState,
+    WeightedScheduler,
+)
+
+__all__ = ["InferenceServer", "StreamHandle", "ServeRejected", "TenantConfig"]
+
+_DONE = object()
+"""Stream sentinel: pushed exactly once when a request finishes."""
+
+
+def _pick(logits: np.ndarray) -> int:
+    """NaN-safe argmax, identical to the serial greedy rule."""
+    try:
+        return int(np.nanargmax(logits))
+    except ValueError:  # all-NaN logits
+        return 0
+
+
+class StreamHandle:
+    """Client-side view of one submitted request.
+
+    Iterate to stream tokens as the pump generates them (blocking), or
+    call :meth:`result` to wait for completion and get the full output.
+    :meth:`cancel` abandons the stream mid-generation — the pump
+    retires the row at the next step boundary and frees its KV slot.
+
+    After completion, :attr:`finish_reason` is one of ``"eos"``,
+    ``"length"``, ``"cancelled"`` or ``"shutdown"``, and
+    :attr:`ttft_s` / :attr:`latency_s` / :attr:`tokens` carry the
+    request's timings and output.
+    """
+
+    def __init__(self, request: "_Request") -> None:
+        self._request = request
+        self._stream: _queue.SimpleQueue = _queue.SimpleQueue()
+        self._done = threading.Event()
+        self.tokens: list[int] = []
+        self.finish_reason: str | None = None
+        self.ttft_s: float | None = None
+        self.latency_s: float | None = None
+
+    # -- client API ------------------------------------------------------------
+
+    @property
+    def tenant(self) -> str:
+        return self._request.tenant
+
+    @property
+    def request_id(self) -> int:
+        return self._request.id
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def __iter__(self):
+        """Yield token ids as they arrive; returns at end of stream."""
+        while True:
+            item = self._stream.get()
+            if item is _DONE:
+                return
+            yield item
+
+    def result(self, timeout: float | None = None) -> list[int]:
+        """Block until the request finishes; returns all output tokens."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self._request.id} not finished within {timeout}s"
+            )
+        return list(self.tokens)
+
+    def cancel(self) -> None:
+        """Abandon the stream; the pump frees the row's slot at the
+        next step boundary.  Idempotent, safe at any lifecycle stage."""
+        self._request.cancelled = True
+
+    # -- pump-side (single-threaded) -------------------------------------------
+
+    def _push(self, token: int, now: float) -> None:
+        if self.ttft_s is None:
+            self.ttft_s = now - self._request.t_submit
+        self.tokens.append(token)
+        self._stream.put(token)
+
+    def _finish(self, reason: str, now: float) -> None:
+        self.finish_reason = reason
+        self.latency_s = now - self._request.t_submit
+        self._stream.put(_DONE)
+        self._done.set()
+
+
+@dataclass
+class _Request:
+    """Pump-side request state: queue entry, then active batch row."""
+
+    id: int
+    tenant: str
+    prompt: list[int]
+    max_new: int
+    t_submit: float
+    handle: StreamHandle = field(init=False)
+    cancelled: bool = False
+    # Batch-row state, populated at admission.
+    slot: int | None = None
+    caches: list[KVCache] | None = None
+    position: int = 0
+    iteration: int = 0
+    last_token: int = -1
+
+    def __post_init__(self) -> None:
+        self.handle = StreamHandle(self)
+
+
+class InferenceServer:
+    """Long-running continuous-batch serving loop around one engine.
+
+    The engine is owned by the pump thread while the server is running
+    — clients interact only through :meth:`submit` and the returned
+    handles.  ``config`` must be greedy (``num_beams == 1``); per-
+    request token budgets default to ``config.max_new_tokens``.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        config: GenerationConfig,
+        max_batch: int = 8,
+        tenants: "tuple[TenantConfig, ...] | list[TenantConfig]" = (),
+        default_tenant: str = "default",
+        pool: PooledKVCache | None = None,
+        idle_wait_s: float = 0.05,
+    ) -> None:
+        if config.num_beams != 1:
+            raise ValueError("the serving loop decodes greedily (num_beams=1)")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.engine = engine
+        self.config = config
+        self.pool = pool if pool is not None else engine.new_pool(max_batch)
+        self.max_batch = min(max_batch, self.pool.n_slots)
+        self.default_tenant = default_tenant
+        self._sched = WeightedScheduler()
+        for tenant in tenants:
+            self._sched.add(tenant)
+        # RLock: retirement paths (`_finish`) run both outside the lock
+        # (pump step loop) and under it (cancelled-while-queued requests
+        # discovered inside `_dequeue`).
+        self._lock = threading.RLock()
+        self._work = threading.Condition(self._lock)
+        self._active: list[_Request] = []
+        self._ids = itertools.count()
+        self._thread: threading.Thread | None = None
+        self._stop = False
+        self._drain = True
+        self._idle_wait_s = idle_wait_s
+        self.admission_log: list[tuple[str, int]] = []
+        """``(tenant, request_id)`` in admission order — the observable
+        the fairness tests (and ``repro serve``'s summary) read."""
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "InferenceServer":
+        if self.running:
+            return self
+        self._stop = False
+        self._thread = threading.Thread(
+            target=self._pump, name="repro-serve-pump", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the pump.  ``drain=True`` serves all queued and active
+        requests first; ``drain=False`` terminates them with finish
+        reason ``"shutdown"`` (streams still end cleanly — no client
+        ever blocks forever)."""
+        with self._work:
+            self._stop = True
+            self._drain = drain
+            self._work.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        # A server that was never started still owes queued handles a
+        # clean termination.
+        self._finalize_pending("shutdown")
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop(drain=not any(exc))
+
+    # -- tenants ---------------------------------------------------------------
+
+    def add_tenant(self, config: TenantConfig) -> None:
+        with self._lock:
+            self._sched.add(config)
+
+    def ensure_tenant(self, name: str, **kw) -> None:
+        """Register ``name`` with default knobs if not already present."""
+        with self._lock:
+            if self._sched.get(name) is None:
+                self._sched.add(TenantConfig(name, **kw))
+
+    def tenant_stats(self) -> dict[str, dict]:
+        """Per-tenant submitted/completed/rejected/token tallies."""
+        with self._lock:
+            return {
+                t.name: {
+                    "submitted": t.submitted,
+                    "completed": t.completed,
+                    "rejected": t.rejected,
+                    "tokens": t.tokens,
+                    "queued": len(t.queue),
+                    "in_flight": t.in_flight,
+                }
+                for t in self._sched.tenants()
+            }
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        prompt_ids: list[int],
+        tenant: str | None = None,
+        max_new_tokens: int | None = None,
+    ) -> StreamHandle:
+        """Enqueue a prompt; returns its stream handle immediately.
+
+        Raises :class:`ServeRejected` when the server is shutting down,
+        the prompt cannot fit the context window, or the tenant's
+        bounded queue is full (overload shed).
+        """
+        name = tenant or self.default_tenant
+        if not prompt_ids:
+            raise ValueError("prompt must contain at least one token")
+        budget = (
+            self.config.max_new_tokens
+            if max_new_tokens is None
+            else max_new_tokens
+        )
+        if budget < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if len(prompt_ids) + budget > self.engine.config.max_seq:
+            raise ServeRejected(
+                name,
+                "prompt_too_long",
+                f"{len(prompt_ids)} prompt + {budget} budget >"
+                f" {self.engine.config.max_seq} context",
+            )
+        with self._work:
+            if self._stop:
+                raise ServeRejected(name, "shutdown")
+            state = self._sched.get(name)
+            if state is None:
+                state = self._sched.add(TenantConfig(name))
+            if len(state.queue) >= state.config.max_queue:
+                state.rejected += 1
+                tel = _telemetry()
+                if tel.active:
+                    tel.metrics.counter("serve.rejected").add()
+                raise ServeRejected(
+                    name,
+                    "queue_full",
+                    f"{len(state.queue)} waiting >= max_queue"
+                    f" {state.config.max_queue}",
+                )
+            request = _Request(
+                id=next(self._ids),
+                tenant=name,
+                prompt=list(prompt_ids),
+                max_new=budget,
+                t_submit=time.perf_counter(),
+            )
+            state.queue.append(request)
+            state.submitted += 1
+            self._work.notify_all()
+        return request.handle
+
+    # -- pump ------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        try:
+            while True:
+                with self._work:
+                    while (
+                        not self._stop
+                        and not self._active
+                        and self._sched.queued() == 0
+                    ):
+                        self._work.wait(self._idle_wait_s)
+                    if self._stop and (
+                        not self._drain
+                        or (not self._active and self._sched.queued() == 0)
+                    ):
+                        break
+                    tel = _telemetry()
+                    if tel.active:
+                        tel.metrics.histogram("serve.queue_depth").observe(
+                            self._sched.queued()
+                        )
+                self._admit()
+                if self._active:
+                    self._step()
+        finally:
+            # Never strand a stream: whatever remains (abrupt stop,
+            # engine exception) terminates with a clean sentinel.
+            self._finalize_pending("shutdown")
+
+    def _dequeue(self) -> _Request | None:
+        """One weighted-round-robin admission pick (lock held by caller)."""
+        while True:
+            state = self._sched.pick()
+            if state is None:
+                return None
+            request = state.queue.popleft()
+            if request.cancelled:
+                # Abandoned while queued: terminate without a slot.
+                self._finish(request, "cancelled", admitted=False)
+                continue
+            state.in_flight += 1
+            self.admission_log.append((state.name, request.id))
+            return request
+
+    def _admit(self) -> None:
+        """Back-fill the batch from the tenant queues (mid-flight).
+
+        Admission is capped by batch width *and real KV capacity*
+        (``pool.n_free``) — a slot freed by an eager retirement this
+        step is immediately admissible against.
+        """
+        tel = _telemetry()
+        while len(self._active) < self.max_batch and self.pool.n_free > 0:
+            with self._lock:
+                request = self._dequeue()
+            if request is None:
+                break
+            self._prefill(request)
+        if tel.active:
+            tel.metrics.gauge("decode.free_slots").set(self.pool.n_free)
+
+    def _prefill(self, request: _Request) -> None:
+        """Run the prompt forward and emit the first token (the TTFT
+        token).  EOS-as-first-token and one-token budgets retire here —
+        the row never occupies a batch slot across a step."""
+        slot = self.pool.acquire()
+        request.slot = slot
+        request.caches = self.pool.caches(slot)
+        logits = self.engine.forward(
+            request.prompt, request.caches, start_pos=0, iteration=0
+        )[-1]
+        request.position = len(request.prompt)
+        request.iteration = 0
+        if request.cancelled:
+            self._finish(request, "cancelled")
+            return
+        token = _pick(logits)
+        now = time.perf_counter()
+        if token == self.config.eos_id:
+            self._finish(request, "eos")
+            return
+        request.handle._push(token, now)
+        if len(request.handle.tokens) >= request.max_new:
+            self._finish(request, "length")
+            return
+        request.last_token = token
+        self._active.append(request)
+
+    def _step(self) -> None:
+        """Advance every active row one token; retire eagerly."""
+        # Cancellations observed at step granularity: drop the row (and
+        # its slot) before paying for its forward.
+        still: list[_Request] = []
+        for request in self._active:
+            if request.cancelled:
+                self._finish(request, "cancelled")
+            else:
+                still.append(request)
+        self._active = still
+        if not self._active:
+            return
+        tel = _telemetry()
+        if tel.active:
+            tel.metrics.histogram("serve.batch_occupancy").observe(
+                len(self._active)
+            )
+        logits = self.engine.forward_step_batch(
+            [r.last_token for r in self._active],
+            [r.caches for r in self._active],
+            [r.position for r in self._active],
+            [r.iteration + 1 for r in self._active],
+        )
+        now = time.perf_counter()
+        still = []
+        for i, request in enumerate(self._active):
+            request.iteration += 1
+            request.position += 1
+            token = _pick(logits[i])
+            if token == self.config.eos_id:
+                self._finish(request, "eos")
+                continue
+            request.handle._push(token, now)
+            if len(request.handle.tokens) >= request.max_new:
+                self._finish(request, "length")
+                continue
+            request.last_token = token
+            still.append(request)
+        self._active = still
+
+    def _finish(
+        self, request: _Request, reason: str, admitted: bool = True
+    ) -> None:
+        """Retire a request: release its KV slot, terminate its stream,
+        record SLO telemetry."""
+        if request.slot is not None:
+            self.pool.release(request.slot)
+            request.slot = None
+            request.caches = None
+        now = time.perf_counter()
+        handle = request.handle
+        handle._finish(reason, now)
+        with self._lock:
+            state = self._sched.get(request.tenant)
+            if state is not None:
+                if admitted:
+                    state.in_flight -= 1
+                    state.completed += 1
+                state.tokens += len(handle.tokens)
+        tel = _telemetry()
+        if not tel.active:
+            return
+        metrics = tel.metrics
+        metrics.counter("serve.completed").add()
+        metrics.counter(f"serve.finish.{reason}").add()
+        metrics.counter("serve.tokens").add(len(handle.tokens))
+        metrics.counter(f"serve.tenant.{request.tenant}.tokens").add(
+            len(handle.tokens)
+        )
+        metrics.counter(f"serve.tenant.{request.tenant}.requests").add()
+        metrics.histogram("serve.e2e_ms").observe(handle.latency_s * 1e3)
+        if handle.ttft_s is not None:
+            metrics.histogram("serve.ttft_ms").observe(handle.ttft_s * 1e3)
+            metrics.histogram(
+                f"serve.tenant.{request.tenant}.ttft_ms"
+            ).observe(handle.ttft_s * 1e3)
+        if len(handle.tokens) > 1:
+            tpot = (handle.latency_s - handle.ttft_s) / (
+                len(handle.tokens) - 1
+            )
+            metrics.histogram("serve.tpot_ms").observe(tpot * 1e3)
+        metrics.gauge("decode.free_slots").set(self.pool.n_free)
+
+    def _finalize_pending(self, reason: str) -> None:
+        """Terminate every queued and active request (pump exit path)."""
+        with self._lock:
+            leftovers: list[tuple[_Request, bool]] = [
+                (r, True) for r in self._active
+            ]
+            self._active = []
+            for state in self._sched.tenants():
+                while state.queue:
+                    leftovers.append((state.queue.popleft(), False))
+        for request, admitted in leftovers:
+            self._finish(request, reason, admitted=admitted)

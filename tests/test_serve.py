@@ -1,0 +1,529 @@
+"""Serving loop: mid-flight admission, fairness, SLOs, equivalence.
+
+Covers the multi-tenant streaming server end to end:
+
+* the smooth weighted-round-robin scheduler (exact share convergence,
+  maximal interleaving, in-flight caps);
+* admission control (bounded queues shed with typed rejections, too-long
+  prompts rejected, shutdown refuses new work);
+* served streams token-identical to serial ``greedy_decode`` under
+  concurrent mid-flight admission;
+* stream-termination edge cases from the bug taxonomy — EOS as the very
+  first token, client abandoning a stream mid-generation, token budget
+  hit mid-speculation round — all free KV slots and never deadlock the
+  pump;
+* a saturating tenant cannot starve a light tenant's TTFT;
+* campaigns attach as just another tenant with unchanged baselines;
+* SLO instruments land in the obs registry and render as the dedicated
+  report section.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fi import FaultModel
+from repro.fi.campaign import FICampaign
+from repro.generation import (
+    BatchedDecoder,
+    GenerationConfig,
+    SpeculativeDecoder,
+    greedy_decode,
+)
+from repro.obs import telemetry
+from repro.obs.export import read_run
+from repro.obs.report import render_report
+from repro.serve import (
+    InferenceServer,
+    ServeRejected,
+    TenantConfig,
+    WeightedScheduler,
+    run_load,
+)
+from repro.serve.loadgen import PromptSpec, equivalence_gate
+from repro.tasks import TranslationTask, standardized_subset
+
+PROMPTS = [[3, 5, 7], [11, 13, 17, 19, 4], [23, 29], [8, 15, 16, 42], [6], [31, 37]]
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    tel = telemetry()
+    tel.reset()
+    tel.disable()
+    yield tel
+    tel.reset()
+    tel.disable()
+
+
+def _config(**kw):
+    kw.setdefault("max_new_tokens", 8)
+    kw.setdefault("eos_id", -1)
+    return GenerationConfig(**kw)
+
+
+def _stock(scheduler: WeightedScheduler, name: str, n: int) -> None:
+    scheduler.get(name).queue.extend(object() for _ in range(n))
+
+
+class TestWeightedScheduler:
+    def test_exact_share_convergence(self):
+        scheduler = WeightedScheduler()
+        scheduler.add(TenantConfig("a", weight=3.0))
+        scheduler.add(TenantConfig("b", weight=1.0))
+        _stock(scheduler, "a", 400)
+        _stock(scheduler, "b", 400)
+        picks = []
+        for _ in range(400):
+            state = scheduler.pick()
+            state.queue.popleft()
+            picks.append(state.name)
+        assert picks.count("a") == 300
+        assert picks.count("b") == 100
+
+    def test_smooth_interleaving(self):
+        """Weight 3:1 serves A A B A, never the bursty A A A B."""
+        scheduler = WeightedScheduler()
+        scheduler.add(TenantConfig("a", weight=3.0))
+        scheduler.add(TenantConfig("b", weight=1.0))
+        _stock(scheduler, "a", 8)
+        _stock(scheduler, "b", 8)
+        picks = []
+        for _ in range(8):
+            state = scheduler.pick()
+            state.queue.popleft()
+            picks.append(state.name)
+        assert picks == ["a", "a", "b", "a", "a", "a", "b", "a"]
+
+    def test_in_flight_cap_gates_runnability(self):
+        scheduler = WeightedScheduler()
+        scheduler.add(TenantConfig("a", weight=9.0, max_in_flight=1))
+        scheduler.add(TenantConfig("b", weight=1.0))
+        _stock(scheduler, "a", 4)
+        _stock(scheduler, "b", 4)
+        scheduler.get("a").in_flight = 1  # at cap: only b is runnable
+        assert scheduler.pick().name == "b"
+        scheduler.get("a").in_flight = 0
+        assert scheduler.pick().name == "a"
+
+    def test_empty_and_duplicate(self):
+        scheduler = WeightedScheduler()
+        assert scheduler.pick() is None
+        scheduler.add(TenantConfig("a"))
+        with pytest.raises(ValueError, match="already registered"):
+            scheduler.add(TenantConfig("a"))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TenantConfig("a", weight=0)
+        with pytest.raises(ValueError):
+            TenantConfig("a", max_in_flight=0)
+        with pytest.raises(ValueError):
+            TenantConfig("a", max_queue=0)
+        with pytest.raises(ValueError):
+            TenantConfig("")
+
+
+class TestServedEquivalence:
+    def test_concurrent_streams_match_serial(self, untrained_engine):
+        specs = [PromptSpec("t", tuple(p), 8) for p in PROMPTS]
+        assert equivalence_gate(
+            untrained_engine, _config(), specs, max_batch=4
+        ) == len(PROMPTS)
+
+    def test_mid_flight_admission_matches_serial(self, untrained_engine):
+        """Requests submitted while others decode join mid-batch and
+        still produce serial-identical streams."""
+        config = _config(max_new_tokens=12)
+        references = [
+            greedy_decode(untrained_engine, p, config, strategy="serial")
+            for p in PROMPTS
+        ]
+        with InferenceServer(untrained_engine, config, max_batch=2) as server:
+            first = [server.submit(p) for p in PROMPTS[:2]]
+            # Wait for the batch to be mid-flight, then pile on.
+            next(iter(first[0]))
+            late = [server.submit(p) for p in PROMPTS[2:]]
+            outputs = [h.result(timeout=60) for h in first + late]
+        assert outputs == references
+
+    def test_streaming_is_incremental(self, untrained_engine):
+        config = _config(max_new_tokens=6)
+        with InferenceServer(untrained_engine, config) as server:
+            handle = server.submit(PROMPTS[0])
+            streamed = list(iter(handle))
+        assert streamed == handle.tokens
+        assert len(streamed) == 6
+        assert handle.finish_reason == "length"
+        assert handle.ttft_s is not None
+        assert handle.latency_s >= handle.ttft_s
+
+
+class TestAdmissionControl:
+    def test_bounded_queue_sheds_typed(self, untrained_engine):
+        server = InferenceServer(
+            untrained_engine,
+            _config(),
+            tenants=[TenantConfig("x", max_queue=2)],
+        )
+        server.submit(PROMPTS[0], tenant="x")
+        server.submit(PROMPTS[1], tenant="x")
+        with pytest.raises(ServeRejected) as exc_info:
+            server.submit(PROMPTS[2], tenant="x")
+        assert exc_info.value.reason == "queue_full"
+        assert exc_info.value.tenant == "x"
+        assert server.tenant_stats()["x"]["rejected"] == 1
+        server.stop()
+
+    def test_prompt_too_long_rejected(self, untrained_engine):
+        server = InferenceServer(untrained_engine, _config())
+        max_seq = untrained_engine.config.max_seq
+        with pytest.raises(ServeRejected) as exc_info:
+            server.submit([1] * max_seq, max_new_tokens=8)
+        assert exc_info.value.reason == "prompt_too_long"
+        server.stop()
+
+    def test_shutdown_refuses_new_work(self, untrained_engine):
+        server = InferenceServer(untrained_engine, _config()).start()
+        server.stop()
+        with pytest.raises(ServeRejected) as exc_info:
+            server.submit(PROMPTS[0])
+        assert exc_info.value.reason == "shutdown"
+
+    def test_unknown_tenant_autoregisters(self, untrained_engine):
+        with InferenceServer(untrained_engine, _config()) as server:
+            server.submit(PROMPTS[0], tenant="fresh").result(timeout=60)
+        assert server.tenant_stats()["fresh"]["completed"] == 1
+
+
+class TestStreamTerminationEdges:
+    """The bug-taxonomy stream-termination cases: every one must free
+    its KV slot and leave the pump serving."""
+
+    def _assert_pump_alive(self, server, prompt):
+        """The acid test after an edge case: the next request decodes."""
+        follow_up = server.submit(prompt)
+        assert follow_up.result(timeout=60)
+        assert follow_up.finish_reason in ("length", "eos")
+
+    def test_eos_as_first_token(self, untrained_engine):
+        first = greedy_decode(
+            untrained_engine, PROMPTS[0], _config(max_new_tokens=1),
+            strategy="serial",
+        )[0]
+        config = _config(max_new_tokens=8, eos_id=first)
+        with InferenceServer(untrained_engine, config, max_batch=2) as server:
+            handle = server.submit(PROMPTS[0])
+            assert handle.result(timeout=60) == []
+            assert handle.finish_reason == "eos"
+            assert list(iter(handle)) == []  # stream ends, never hangs
+            assert server.pool.n_free == server.pool.n_slots
+            # EOS-first never even occupies a batch row across a step.
+            other = greedy_decode(
+                untrained_engine, PROMPTS[1], config, strategy="serial"
+            )
+            got = server.submit(PROMPTS[1]).result(timeout=60)
+            assert got == other
+
+    def test_client_abandons_stream_mid_generation(self, untrained_engine):
+        config = _config(max_new_tokens=64)
+        with InferenceServer(untrained_engine, config, max_batch=2) as server:
+            handle = server.submit(PROMPTS[0], max_new_tokens=64)
+            stream = iter(handle)
+            next(stream)
+            next(stream)
+            handle.cancel()
+            handle.result(timeout=60)
+            assert handle.finish_reason == "cancelled"
+            assert 2 <= len(handle.tokens) < 64
+            # Tokens decoded before the cancel landed drain, then the
+            # stream terminates — it never hangs.
+            assert list(stream) == handle.tokens[2:]
+            assert server.pool.n_free == server.pool.n_slots
+            self._assert_pump_alive(server, PROMPTS[1])
+
+    def test_cancel_while_queued(self, untrained_engine):
+        config = _config(max_new_tokens=16)
+        with InferenceServer(untrained_engine, config, max_batch=1) as server:
+            running = server.submit(PROMPTS[0])
+            queued = server.submit(PROMPTS[1])
+            queued.cancel()
+            assert queued.result(timeout=60) == []
+            assert queued.finish_reason == "cancelled"
+            assert running.result(timeout=60)
+        # A cancelled-in-queue request never held a slot.
+        assert server.pool.n_free == server.pool.n_slots
+
+    def test_budget_hit_mid_speculation_round(self, untrained_engine):
+        """A token budget landing inside a draft-verify round truncates
+        to exactly the serial output, and the engine's caches stay
+        consistent — serving the same engine afterwards still matches
+        serial decode."""
+        for max_new in (1, 2, 3, 5):
+            config = _config(max_new_tokens=max_new)
+            decoder = SpeculativeDecoder(
+                untrained_engine, untrained_engine, config, speculation_depth=4
+            )
+            for prompt in PROMPTS[:3]:
+                serial = greedy_decode(
+                    untrained_engine, prompt, config, strategy="serial"
+                )
+                assert decoder.decode_one(prompt) == serial
+        config = _config(max_new_tokens=8)
+        with InferenceServer(untrained_engine, config) as server:
+            self._assert_pump_alive(server, PROMPTS[0])
+
+    def test_hard_stop_terminates_streams(self, untrained_engine):
+        config = _config(max_new_tokens=64)
+        server = InferenceServer(untrained_engine, config, max_batch=1).start()
+        active = server.submit(PROMPTS[0], max_new_tokens=64)
+        queued = server.submit(PROMPTS[1], max_new_tokens=64)
+        next(iter(active))
+        server.stop(drain=False)
+        assert active.result(timeout=60) is not None
+        assert queued.finish_reason == "shutdown"
+        assert list(iter(queued)) == []
+        assert server.pool.n_free == server.pool.n_slots
+
+
+class TestFairness:
+    def test_two_tenant_weighted_share(self, untrained_engine):
+        """Admission order converges to the configured 3:1 share while
+        both tenants have work (exact, deterministic)."""
+        config = _config(max_new_tokens=2)
+        server = InferenceServer(
+            untrained_engine,
+            config,
+            max_batch=1,
+            tenants=[
+                TenantConfig("a", weight=3.0),
+                TenantConfig("b", weight=1.0),
+            ],
+        )
+        handles = []
+        for i in range(12):
+            handles.append(server.submit(PROMPTS[i % len(PROMPTS)], tenant="a"))
+            handles.append(server.submit(PROMPTS[i % len(PROMPTS)], tenant="b"))
+        with server:
+            for handle in handles:
+                handle.result(timeout=120)
+        admitted = [tenant for tenant, _ in server.admission_log]
+        # While both queues are non-empty the smooth-WRR share is exact.
+        assert admitted[:8].count("a") == 6
+        assert admitted[:8].count("b") == 2
+        assert admitted[:4] == ["a", "a", "b", "a"]
+        assert admitted.count("a") == 12 and admitted.count("b") == 12
+
+    def test_saturating_tenant_cannot_starve_light_ttft(self, untrained_engine):
+        """A flood from one tenant must not push another tenant's
+        first token behind the whole backlog."""
+        config = _config(max_new_tokens=12)
+        server = InferenceServer(
+            untrained_engine,
+            config,
+            max_batch=2,
+            tenants=[
+                TenantConfig("heavy", max_queue=1000),
+                TenantConfig("light"),
+            ],
+        )
+        heavy = [
+            server.submit(PROMPTS[i % len(PROMPTS)], tenant="heavy")
+            for i in range(40)
+        ]
+        with server:
+            # Server is busy on the heavy backlog; a light request
+            # arriving mid-flight is admitted at the next WRR pick.
+            next(iter(heavy[0]))
+            light = server.submit(PROMPTS[0], tenant="light")
+            light.result(timeout=120)
+            stats = server.tenant_stats()
+            assert stats["heavy"]["queued"] > 0, (
+                "light tenant should finish while the saturating tenant"
+                " still has a backlog"
+            )
+            for handle in heavy:
+                handle.result(timeout=120)
+        light_admissions = [
+            i
+            for i, (tenant, _) in enumerate(server.admission_log)
+            if tenant == "light"
+        ]
+        assert light_admissions, "light tenant was never admitted"
+
+    def test_max_in_flight_cap_respected(self, untrained_engine):
+        config = _config(max_new_tokens=8)
+        server = InferenceServer(
+            untrained_engine,
+            config,
+            max_batch=4,
+            tenants=[TenantConfig("capped", max_in_flight=1)],
+        )
+        handles = [
+            server.submit(PROMPTS[i], tenant="capped") for i in range(4)
+        ]
+        with server:
+            for handle in handles:
+                handle.result(timeout=120)
+        # With the cap at 1, admissions are strictly sequential: each
+        # request is admitted only after the previous one retires.
+        assert [r for _, r in server.admission_log] == sorted(
+            r for _, r in server.admission_log
+        )
+        assert server.tenant_stats()["capped"]["completed"] == 4
+
+
+class TestServeTelemetry:
+    def test_slo_instruments_recorded(self, untrained_engine, clean_telemetry):
+        tel = clean_telemetry
+        tel.enable()
+        config = _config(max_new_tokens=6)
+        with InferenceServer(untrained_engine, config, max_batch=2) as server:
+            for p in PROMPTS[:4]:
+                server.submit(p, tenant="users")
+            # Drained by stop(drain=True) on context exit.
+        assert tel.metrics.histogram("serve.ttft_ms").summary()["count"] == 4
+        assert tel.metrics.histogram("serve.e2e_ms").summary()["count"] == 4
+        assert tel.metrics.histogram("serve.tpot_ms").summary()["count"] == 4
+        occupancy = tel.metrics.histogram("serve.batch_occupancy").summary()
+        assert occupancy["count"] > 0 and occupancy["max"] <= 2
+        assert tel.metrics.counter("serve.tenant.users.tokens").value == 24
+        assert tel.metrics.gauge("decode.free_slots").value == 2
+
+    def test_free_slots_gauge_from_batched_decoder(
+        self, untrained_engine, clean_telemetry
+    ):
+        tel = clean_telemetry
+        tel.enable()
+        decoder = BatchedDecoder(untrained_engine, _config(), max_batch=3)
+        decoder.decode_many(PROMPTS)
+        # Every slot released once the sweep retires all sequences.
+        assert tel.metrics.gauge("decode.free_slots").value == 3
+
+    def test_report_renders_serve_section(
+        self, untrained_engine, clean_telemetry, tmp_path
+    ):
+        tel = clean_telemetry
+        out = tmp_path / "serve-run.jsonl"
+        tel.enable(out)
+        config = _config(max_new_tokens=4)
+        with InferenceServer(untrained_engine, config) as server:
+            specs = [PromptSpec("t", tuple(p), 4) for p in PROMPTS[:3]]
+            report = run_load(
+                server, specs, offered_rps=200.0, duration_s=0.1, seed=3
+            )
+        tel.record("serve_load_point", **report.to_dict())
+        tel.flush(command="test-serve")
+        rendered = render_report(read_run(out))
+        assert "== serving SLOs ==" in rendered
+        assert "serve.ttft_ms" in rendered
+        assert "== serving load sweep ==" in rendered
+        assert "== serving tenants ==" in rendered
+
+
+class TestLoadGenerator:
+    def test_run_load_accounting(self, untrained_engine):
+        config = _config(max_new_tokens=4)
+        specs = [PromptSpec("t", tuple(p), 4) for p in PROMPTS]
+        with InferenceServer(untrained_engine, config, max_batch=4) as server:
+            report = run_load(
+                server, specs, offered_rps=300.0, duration_s=0.2, seed=7
+            )
+        assert report.submitted == report.completed + report.rejected
+        assert report.tokens == 4 * report.completed
+        assert report.throughput_tps > 0
+        payload = report.to_dict()
+        for key in ("offered_rps", "throughput_tps", "ttft_ms", "latency_ms"):
+            assert key in payload
+        assert payload["ttft_ms"]["p99"] >= payload["ttft_ms"]["p50"]
+
+    def test_open_loop_sheds_under_overload(self, untrained_engine):
+        """A tiny bounded queue under a flood must shed, not deadlock."""
+        config = _config(max_new_tokens=8)
+        specs = [PromptSpec("t", tuple(p), 8) for p in PROMPTS]
+        server = InferenceServer(
+            untrained_engine,
+            config,
+            max_batch=1,
+            tenants=[TenantConfig("q", max_queue=2)],
+        )
+        with server:
+            report = run_load(
+                server,
+                specs,
+                offered_rps=500.0,
+                duration_s=0.2,
+                seed=11,
+                tenant="q",
+            )
+        assert report.rejected > 0
+        assert report.completed + report.rejected == report.submitted
+
+
+class TestCampaignAsTenant:
+    def _campaign(self, engine, tokenizer, world, **kw):
+        task = TranslationTask(world)
+        return FICampaign(
+            engine=engine,
+            tokenizer=tokenizer,
+            task_name=task.name,
+            metrics=task.metrics,
+            examples=standardized_subset(task, 3),
+            fault_model=kw.pop("fault_model", FaultModel.COMP_2BIT),
+            seed=5,
+            generation=GenerationConfig(
+                max_new_tokens=task.max_new_tokens,
+                eos_id=tokenizer.vocab.eos_id,
+            ),
+            **kw,
+        )
+
+    def test_served_baseline_identical(
+        self, untrained_engine, tokenizer, world
+    ):
+        local = self._campaign(untrained_engine, tokenizer, world)
+        expected = local.compute_baseline()
+        served = self._campaign(untrained_engine, tokenizer, world)
+        server = InferenceServer(
+            untrained_engine, served.generation, max_batch=4
+        ).start()
+        try:
+            served.attach_server(server, tenant="campaign")
+            assert served.compute_baseline() == expected
+            assert served._baseline_preds == local._baseline_preds
+            stats = server.tenant_stats()["campaign"]
+            assert stats["completed"] == 3
+        finally:
+            server.stop()
+
+    def test_attach_validations(self, untrained_engine, tokenizer, world):
+        campaign = self._campaign(untrained_engine, tokenizer, world)
+        other = InferenceServer(untrained_engine, _config(eos_id=-1))
+        with pytest.raises(ValueError, match="eos_id"):
+            campaign.attach_server(other)
+        other.stop()
+
+    def test_worker_state_drops_server_handle(
+        self, untrained_engine, tokenizer, world
+    ):
+        campaign = self._campaign(untrained_engine, tokenizer, world)
+        server = InferenceServer(
+            untrained_engine, campaign.generation
+        ).start()
+        try:
+            campaign.attach_server(server)
+            assert "_serve" not in campaign._worker_state()
+            assert campaign._worker_state()["_serve_tenant"] == "campaign"
+        finally:
+            server.stop()
+
+    def test_detached_server_falls_back_locally(
+        self, untrained_engine, tokenizer, world
+    ):
+        campaign = self._campaign(untrained_engine, tokenizer, world)
+        server = InferenceServer(untrained_engine, campaign.generation)
+        # Never started: the serve route reports unavailable and the
+        # baseline silently takes the local batched path.
+        campaign.attach_server(server)
+        reference = self._campaign(untrained_engine, tokenizer, world)
+        assert campaign.compute_baseline() == reference.compute_baseline()
+        server.stop()
