@@ -132,7 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("model", choices=zoo_names())
     campaign.add_argument("task")
     campaign.add_argument(
-        "fault", choices=[fm.value for fm in FaultModel.all()]
+        "fault", choices=[fm.value for fm in FaultModel.extended()]
     )
     campaign.add_argument("--trials", type=int, default=100)
     campaign.add_argument("--examples", type=int, default=12)
@@ -151,6 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         metavar="GAMMA",
         help="draft tokens proposed per speculative verify round",
+    )
+    campaign.add_argument(
+        "--spec-fault-side",
+        choices=["draft", "target"],
+        default=None,
+        help="inject into this engine of a speculative decoder instead"
+        " of plain decoding (requires --draft-model; draft-side faults"
+        " measure verification masking)",
     )
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument(
@@ -448,6 +456,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             else None
         ),
         speculation_depth=args.spec_depth,
+        spec_fault_side=args.spec_fault_side,
     )
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint PATH", file=sys.stderr)
@@ -466,6 +475,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     tel = telemetry()
     print(f"model={args.model} policy={args.policy}")
     print(format_campaign(result))
+    if args.spec_fault_side is not None:
+        from repro.fi.analysis import speculation_masking
+
+        for side, row in sorted(speculation_masking(result).items()):
+            print(
+                f"masking[{side}]: {row['masked']}/{row['fired']} fired"
+                f" trials masked (rate={row['masking_rate']:.3f},"
+                f" sdc={row['sdc']}, trials={row['trials']})"
+            )
+            tel.record("campaign_masking", side=side, **row)
     for metric in result.baseline:
         ci = result.normalized[metric]
         tel.record(

@@ -4,8 +4,11 @@ from repro.fi.analysis import (
     GroupVulnerability,
     by_bit_role,
     by_block,
+    by_engine_side,
     by_layer_type,
+    by_surface,
     most_vulnerable,
+    speculation_masking,
 )
 from repro.fi.campaign import (
     CampaignChaos,
@@ -29,7 +32,9 @@ from repro.fi.differential import (
 )
 from repro.fi.fault_models import FaultModel
 from repro.fi.injector import (
+    AccumulatorFaultInjector,
     ComputationalFaultInjector,
+    KVFaultInjector,
     MemoryFaultInjector,
     inject,
 )
@@ -59,9 +64,14 @@ __all__ = [
     "result_signatures",
     "by_bit_role",
     "by_block",
+    "by_engine_side",
     "by_layer_type",
+    "by_surface",
     "most_vulnerable",
+    "speculation_masking",
+    "AccumulatorFaultInjector",
     "ComputationalFaultInjector",
+    "KVFaultInjector",
     "FICampaign",
     "FaultModel",
     "FaultSite",

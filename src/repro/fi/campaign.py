@@ -111,6 +111,13 @@ class TrialRecord:
     changed: bool = False
     selection_changed: bool | None = None
     """For MoE gate studies: did the expert routing change?"""
+    fired: bool = True
+    """Whether the armed fault actually struck during the trial's
+    inference.  Memory faults always fire (the corruption exists the
+    moment the weights flip); transient injectors can miss — the decode
+    can end before the sampled iteration, and a draft-side fault's
+    round schedule may skip it.  The masking studies condition on this:
+    a trial whose fault never landed measures nothing."""
     error: str | None = field(default=None, hash=False, compare=False)
     """For quarantined (``FAILED``) trials: the final attempt's error."""
 
@@ -296,6 +303,7 @@ def _attach_worker_campaign(arena_root: Path, campaign_state: dict) -> "FICampai
     # Serving is a parent-process concern: a worker's engine is its own
     # arena attachment, so server handles never cross the fork.
     campaign._serve = None
+    campaign._serve_faults = False
     return campaign
 
 
@@ -725,6 +733,7 @@ class FICampaign:
         decode_batch_size: int = 8,
         draft_model: InferenceEngine | None = None,
         speculation_depth: int = 4,
+        spec_fault_side: str | None = None,
         chaos: CampaignChaos | None = None,
     ) -> None:
         self.engine = engine
@@ -782,6 +791,26 @@ class FICampaign:
         fail the :func:`~repro.generation.speculative.decode_speculation_safe`
         gate and run the exact serial reference path automatically."""
         self.speculation_depth = speculation_depth
+        if spec_fault_side is not None:
+            if spec_fault_side not in ("draft", "target"):
+                raise ValueError(
+                    f"spec_fault_side must be 'draft' or 'target',"
+                    f" got {spec_fault_side!r}"
+                )
+            if draft_model is None:
+                raise ValueError("spec_fault_side needs a draft_model")
+            if self.is_mc:
+                raise ValueError(
+                    "the speculation-side study is generative-only"
+                )
+        self.spec_fault_side = spec_fault_side
+        """Speculation-side masking study: inject every trial's fault
+        into the named engine of the draft/verify pair *while decoding
+        speculatively* (``decode_one(force=True)``).  ``"draft"`` sites
+        are sampled against the draft engine's geometry; the
+        verification step should mask them all (the masking theorem in
+        :mod:`repro.generation.speculative`).  ``None`` (default) keeps
+        the standard single-engine trial path."""
         self.chaos = chaos
         """Optional runner-level fault injection (resilience tests)."""
         self._example_ids = [self._stable_example_id(ex) for ex in self.examples]
@@ -803,6 +832,11 @@ class FICampaign:
         (:meth:`attach_server`): fault-free generative baselines submit
         as tenant traffic instead of monopolizing the engine."""
         self._serve_tenant = "campaign"
+        self._serve_faults = False
+        """When True (``attach_server(serve_faults=True)``), KV-fault
+        trials also run *through the live server* — the fault is pinned
+        to the campaign request's pool slot while other tenants' streams
+        share the batch (the cross-request blast-radius mode)."""
 
     # -- stable trial identity ---------------------------------------------------
 
@@ -848,7 +882,7 @@ class FICampaign:
         that), so a journal written under one execution strategy may be
         resumed under another.
         """
-        return {
+        fingerprint = {
             "task": self.task_name,
             "fault_model": self.fault_model.value,
             "seed": self.seed,
@@ -869,6 +903,14 @@ class FICampaign:
                 else None
             ),
         }
+        if self.spec_fault_side is not None:
+            # The speculation-side study makes the speculative schedule
+            # result-determining (strike timing depends on round
+            # boundaries), so these join the fingerprint — but only
+            # conditionally, preserving every existing journal's hash.
+            fingerprint["spec_fault_side"] = self.spec_fault_side
+            fingerprint["speculation_depth"] = self.speculation_depth
+        return fingerprint
 
     # -- shared single-example evaluation --------------------------------------
 
@@ -904,7 +946,9 @@ class FICampaign:
 
     # -- serving integration -----------------------------------------------------
 
-    def attach_server(self, server, tenant: str = "campaign") -> None:
+    def attach_server(
+        self, server, tenant: str = "campaign", serve_faults: bool = False
+    ) -> None:
         """Route fault-free generative baselines through a live
         :class:`~repro.serve.server.InferenceServer` as tenant traffic.
 
@@ -913,13 +957,32 @@ class FICampaign:
         scheduling instead of monopolizing the engine with a blocking
         library call.  Served tokens are greedy-identical to the local
         path (the serve equivalence gate), so TrialRecords are
-        unchanged.  Injected trials always keep the exact local
-        reference path — fault arming and serving never mix; do not
-        run injected trials concurrently with other tenants' live
-        traffic on the same engine.
+        unchanged.  By default injected trials keep the exact local
+        reference path — fault arming and serving never mix.
+
+        ``serve_faults=True`` (KV-fault campaigns only) additionally
+        routes *injected* trials through the server: each trial submits
+        its prompt with the sampled KV fault attached, the server arms
+        a :class:`~repro.fi.injector.KVFaultInjector` pinned to that
+        request's pool slot, and the fault decodes mid-batch alongside
+        whatever other tenants are streaming — the cross-request
+        blast-radius mode.  Slot pinning scopes the corruption to the
+        campaign's own stream (asserted by the stream-isolation tests),
+        so concurrent tenant traffic is measured, not forbidden.
         """
         if self.is_mc:
             raise ValueError("serving integration is generative-only")
+        if serve_faults and not self.fault_model.is_kv:
+            raise ValueError(
+                "serve_faults mode is KV-fault-only:"
+                f" {self.fault_model.value} faults arm engine-global state"
+            )
+        if serve_faults and self.generation.num_beams != 1:
+            raise ValueError("serve_faults mode requires greedy decoding")
+        if serve_faults and self.spec_fault_side is not None:
+            raise ValueError(
+                "serve_faults and spec_fault_side are mutually exclusive"
+            )
         if server.engine is not self.engine:
             raise ValueError("server must wrap this campaign's engine")
         if server.config.eos_id != self.generation.eos_id:
@@ -931,9 +994,11 @@ class FICampaign:
         server.ensure_tenant(tenant)
         self._serve = server
         self._serve_tenant = tenant
+        self._serve_faults = serve_faults
 
     def detach_server(self) -> None:
         self._serve = None
+        self._serve_faults = False
 
     def _serve_baseline(self, prompts: list[list[int]]) -> "list[str] | None":
         """Submit the baseline sweep as tenant traffic; ``None`` when
@@ -1025,12 +1090,17 @@ class FICampaign:
     # -- one trial ---------------------------------------------------------------
 
     def _trial_site(self, trial: int, max_iterations: int) -> FaultSite:
+        # Draft-side sites must be sampled against the *draft* engine's
+        # geometry (its layers, widths and formats differ).
+        side = self.spec_fault_side or "target"
+        engine = self.draft_model if side == "draft" else self.engine
         return sample_site(
-            self.engine,
+            engine,
             self.fault_model,
             self._trial_rng(trial),
             max_iterations=max_iterations,
             layer_filter=self.layer_filter,
+            engine_side=side,
         )
 
     def _selection_changed(self, idx: int, faulty: dict | None) -> bool | None:
@@ -1074,11 +1144,15 @@ class FICampaign:
         """The example's fault-free prefilled session, rewound, when safe.
 
         Safe exactly when the trial's iteration-0 forward is guaranteed
-        bit-identical to the baseline's: a computational fault timed at
-        iteration >= 1 on a generative task.  Memory faults corrupt the
-        weights the prefill reads, iteration-0 faults strike the prefill
-        itself, and expert-selection tracking must capture the prefill's
-        routing — all of those re-prefill.
+        bit-identical to the baseline's: a transient fault
+        (computational, KV-cache or accumulator) timed at iteration
+        >= 1 on a generative task — none of those can perturb the
+        prompt forward before their sampled iteration.  Memory faults
+        corrupt the weights the prefill reads, iteration-0 faults
+        strike the prefill itself, speculation-side and served-fault
+        trials decode through a different schedule entirely, and
+        expert-selection tracking must capture the prefill's routing —
+        all of those re-prefill.
 
         One session per example is kept and *rewound in place* between
         trials via :meth:`KVCache.restore` — a bounded prefix write
@@ -1087,11 +1161,18 @@ class FICampaign:
         every trial.  The snapshot bytes are exactly the prefill's, so
         a rewound trial is bit-identical to a freshly prefilled one.
         """
+        transient = (
+            site.fault_model.is_computational
+            or site.fault_model.is_kv
+            or site.fault_model.is_accumulator
+        )
         if (
             not self.prefill_cache
             or self.is_mc
             or self.track_expert_selection
-            or not site.fault_model.is_computational
+            or self.spec_fault_side is not None
+            or (self._serve is not None and self._serve_faults)
+            or not transient
             or site.iteration == 0
         ):
             return None
@@ -1140,21 +1221,66 @@ class FICampaign:
         if self.track_expert_selection:
             self.engine.capture = CaptureState()
         detach_front = None
+        fired = True
         try:
-            with inject(self.engine, site) as injector:
-                if recorder.active:
-                    # Probes register after the injector's hook, so the
-                    # struck layer's probe observes the post-injection
-                    # output; observer + row-scoped registration keeps
-                    # the batching/speculation gates exactly where a
-                    # recorder-off run has them.
-                    detach_front = recorder.attach_front(
-                        self.engine, site.iteration
+            if self.spec_fault_side is not None:
+                # Speculation-side study: arm the sampled engine of the
+                # draft/verify pair and decode speculatively regardless
+                # of the safety gate (force=True) — measuring how the
+                # speculative schedule interacts with the fault is the
+                # point.  No corruption-front probes: the iteration ↔
+                # forward mapping differs from the serial reference.
+                side_engine = (
+                    self.draft_model
+                    if self.spec_fault_side == "draft"
+                    else self.engine
+                )
+                spec = SpeculativeDecoder(
+                    self.engine,
+                    self.draft_model,
+                    self.generation,
+                    speculation_depth=self.speculation_depth,
+                )
+                prompt = self.tokenizer.encode(ex.prompt)
+                with inject(side_engine, site) as injector:
+                    text = self.tokenizer.decode(
+                        spec.decode_one(prompt, force=True)
                     )
-                if self.is_mc:
-                    pred_idx = self._eval_mc(ex)
-                else:
-                    text = self._eval_gen(ex, session=session)
+                fired = getattr(injector, "fired", True)
+            elif (
+                self._serve_faults
+                and self._serve is not None
+                and self._serve.running
+            ):
+                # Live-server blast-radius mode: the fault rides the
+                # campaign's own request into the shared batch, pinned
+                # to that request's pool slot by the server.
+                prompt = self.tokenizer.encode(ex.prompt)
+                handle = self._serve.submit(
+                    prompt,
+                    tenant=self._serve_tenant,
+                    max_new_tokens=self.generation.max_new_tokens,
+                    kv_fault=site,
+                )
+                text = self.tokenizer.decode(handle.result())
+                fired = bool(handle.kv_fired)
+            else:
+                with inject(self.engine, site) as injector:
+                    if recorder.active:
+                        # Probes register after the injector's hook, so
+                        # the struck layer's probe observes the
+                        # post-injection output; observer + row-scoped
+                        # registration keeps the batching/speculation
+                        # gates exactly where a recorder-off run has
+                        # them.
+                        detach_front = recorder.attach_front(
+                            self.engine, site.iteration
+                        )
+                    if self.is_mc:
+                        pred_idx = self._eval_mc(ex)
+                    else:
+                        text = self._eval_gen(ex, session=session)
+                fired = getattr(injector, "fired", True)
         finally:
             if detach_front is not None:
                 detach_front()
@@ -1174,6 +1300,7 @@ class FICampaign:
                 metrics={"accuracy": 100.0 * correct},
                 changed=pred_idx != base_pred,
                 selection_changed=self._selection_changed(idx, selections),
+                fired=fired,
             )
         else:
             trial_metrics = score_generative(self.metrics, [text], [ex])
@@ -1193,6 +1320,7 @@ class FICampaign:
                 metrics=trial_metrics,
                 changed=text != base_pred,
                 selection_changed=self._selection_changed(idx, selections),
+                fired=fired,
             )
         if recorder.active:
             reference = (
@@ -1205,7 +1333,7 @@ class FICampaign:
                 prediction=record.prediction,
                 baseline=str(base_pred),
                 changed=record.changed,
-                fired=getattr(injector, "fired", True),
+                fired=fired,
                 reference=reference,
             )
         return record
@@ -1241,11 +1369,12 @@ class FICampaign:
             if self.is_mc:
                 prompt, options = self._encode_mc(ex)
                 return self._captured_forward([*prompt, *options[0]])
-            if self.generation.num_beams != 1:
+            if self.generation.num_beams != 1 or self.spec_fault_side is not None:
                 return None
-            strike = (
-                site.iteration if site.fault_model.is_computational else 0
-            )
+            # Memory faults strike the prompt forward; every transient
+            # model (computational, KV, accumulator) strikes at its
+            # sampled iteration.
+            strike = 0 if site.fault_model.is_memory else site.iteration
             prompt = self.tokenizer.encode(ex.prompt)
             if strike == 0:
                 return self._captured_forward(prompt)

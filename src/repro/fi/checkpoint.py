@@ -88,6 +88,12 @@ def site_from_dict(payload: dict) -> FaultSite:
         bits=tuple(int(b) for b in payload["bits"]),
         iteration=int(payload["iteration"]),
         row_frac=float(payload["row_frac"]),
+        # Runtime-surface fields appeared with the KV/speculation/
+        # accumulator fault models; journals written before them load
+        # with the dataclass defaults.
+        engine_side=str(payload.get("engine_side", "target")),
+        plane=str(payload.get("plane", "k")),
+        acc_frac=float(payload.get("acc_frac", 0.0)),
     )
 
 
@@ -101,6 +107,7 @@ def trial_record_to_dict(record: "TrialRecord") -> dict:
         "metrics": dict(record.metrics),
         "changed": record.changed,
         "selection_changed": record.selection_changed,
+        "fired": record.fired,
         "error": record.error,
     }
 
@@ -117,6 +124,7 @@ def trial_record_from_dict(payload: dict) -> "TrialRecord":
         metrics=dict(payload["metrics"]),
         changed=bool(payload["changed"]),
         selection_changed=payload["selection_changed"],
+        fired=bool(payload.get("fired", True)),
         error=payload.get("error"),
     )
 

@@ -43,6 +43,7 @@ _FIELDS = (
     "outcome",
     "changed",
     "selection_changed",
+    "fired",
     "error",
     "metrics",
 )
@@ -62,6 +63,7 @@ def record_signature(record: "TrialRecord") -> tuple:
         record.outcome,
         record.changed,
         record.selection_changed,
+        record.fired,
         record.error,
         tuple(sorted(record.metrics.items())),
     )

@@ -1,4 +1,6 @@
-"""Fault models (paper §3.1).
+"""Fault models (paper §3.1, extended to runtime-state surfaces).
+
+The paper's three models target weights and layer outputs:
 
 * ``1bit-comp`` / ``2bits-comp`` — transient computational faults: bit
   flips in one output neuron of one linear layer during one token
@@ -7,6 +9,24 @@
   stored weight, persisting for the entire inference.  Single-bit
   memory upsets are excluded because ECC corrects them on the GPUs the
   paper targets.
+
+The end-to-end extension adds the runtime state a deployed stack
+actually keeps between forwards (ROADMAP item 4):
+
+* ``1bit-kv`` / ``2bits-kv`` — bit flips in one stored K/V element of
+  a :class:`~repro.inference.kvcache.KVCache` block.  Like a memory
+  fault the corruption *persists*: every subsequent token that attends
+  to the corrupted position reads the flipped bits; unlike a weight
+  fault the blast radius is one sequence's cache slot.
+* ``1bit-acc`` / ``2bits-acc`` — GEMM-internal accumulator faults: the
+  flip lands in a *partial sum* partway through a linear layer's
+  reduction, then the remaining products accumulate on top of the
+  corrupted value (the dominant SDC site in instruction-level GPU
+  soft-error studies).
+
+:meth:`FaultModel.all` still returns exactly the paper's trio — the
+published experiments sweep those; :meth:`FaultModel.extended` returns
+every model including the runtime-state surfaces.
 """
 
 from __future__ import annotations
@@ -17,16 +37,20 @@ __all__ = ["FaultModel"]
 
 
 class FaultModel(str, enum.Enum):
-    """The paper's three fault models (values match its labels)."""
+    """Fault models (values match the paper's labels where they exist)."""
 
     COMP_1BIT = "1bit-comp"
     COMP_2BIT = "2bits-comp"
     MEM_2BIT = "2bits-mem"
+    KV_1BIT = "1bit-kv"
+    KV_2BIT = "2bits-kv"
+    ACC_1BIT = "1bit-acc"
+    ACC_2BIT = "2bits-acc"
 
     @property
     def n_bits(self) -> int:
         """How many distinct bits flip per fault."""
-        return 1 if self is FaultModel.COMP_1BIT else 2
+        return 1 if self.value.startswith("1bit") else 2
 
     @property
     def is_memory(self) -> bool:
@@ -34,8 +58,36 @@ class FaultModel(str, enum.Enum):
 
     @property
     def is_computational(self) -> bool:
-        return not self.is_memory
+        """Layer-output (activation) faults — the paper's comp models."""
+        return self in (FaultModel.COMP_1BIT, FaultModel.COMP_2BIT)
+
+    @property
+    def is_kv(self) -> bool:
+        """Persistent K/V-cache corruption."""
+        return self in (FaultModel.KV_1BIT, FaultModel.KV_2BIT)
+
+    @property
+    def is_accumulator(self) -> bool:
+        """GEMM partial-sum corruption."""
+        return self in (FaultModel.ACC_1BIT, FaultModel.ACC_2BIT)
+
+    @property
+    def surface(self) -> str:
+        """Which runtime state the fault lands in."""
+        if self.is_memory:
+            return "weights"
+        if self.is_kv:
+            return "kv-cache"
+        if self.is_accumulator:
+            return "accumulator"
+        return "activations"
 
     @staticmethod
     def all() -> tuple["FaultModel", ...]:
+        """The paper's three fault models (its published sweeps)."""
         return (FaultModel.COMP_1BIT, FaultModel.COMP_2BIT, FaultModel.MEM_2BIT)
+
+    @staticmethod
+    def extended() -> tuple["FaultModel", ...]:
+        """Every fault model, including the runtime-state surfaces."""
+        return tuple(FaultModel)

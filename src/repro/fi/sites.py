@@ -10,6 +10,20 @@ Sampling is uniform over the FI-targetable linear layers of the model
 ("statistical fault injection"): block uniform, layer type uniform,
 position uniform within the tensor, bit positions uniform without
 replacement over the storage width.
+
+The runtime-state fault models extend the same two-stage scheme:
+
+* **KV faults** sample (block, plane, head, channel, bits) statically
+  plus a *position fraction* — the struck token position is resolved
+  against the live cache's occupied prefix at strike time, so sampling
+  is uniform over occupied positions only and always in-bounds for the
+  actual cache geometry (prompt lengths differ per example).  Pooled
+  slots need no slot coordinate: the fault binds to one sequence's
+  cache views (the serial trial's only sequence, or a pinned server
+  slot).
+* **Accumulator faults** sample the layer and output column like a
+  computational fault, plus a *reduction split fraction* choosing how
+  many of the GEMM's K products have accumulated when the flip lands.
 """
 
 from __future__ import annotations
@@ -22,9 +36,14 @@ import numpy as np
 from repro.fi.fault_models import FaultModel
 from repro.inference.engine import InferenceEngine
 
-__all__ = ["FaultSite", "sample_site", "LayerFilter"]
+__all__ = ["FaultSite", "sample_site", "LayerFilter", "KV_LAYER_SUFFIX"]
 
 LayerFilter = Callable[[str], bool]
+
+KV_LAYER_SUFFIX = "kv"
+"""Pseudo layer-type suffix naming a block's K/V cache as a fault
+surface (``blocks.3.kv`` — not a linear layer, but addressed the same
+way so block/layer analyses group naturally)."""
 
 
 @dataclass(frozen=True)
@@ -33,18 +52,33 @@ class FaultSite:
 
     fault_model: FaultModel
     layer_name: str
-    """Full layer name, e.g. ``"blocks.3.up_proj"``."""
+    """Full layer name, e.g. ``"blocks.3.up_proj"`` (KV faults use the
+    pseudo layer ``"blocks.3.kv"`` — the block's cache, not a linear)."""
     row: int
     col: int
-    """Weight coordinates (memory faults) or the output neuron/token
-    position (computational faults; ``row`` is a fraction index over
-    output rows, resolved at hook time via :attr:`row_frac`)."""
+    """Weight coordinates (memory faults), the output neuron/token
+    position (computational/accumulator faults), or head/channel
+    coordinates (KV faults: ``row`` is the attention head, ``col`` the
+    head-dim channel)."""
     bits: tuple[int, ...]
     iteration: int = 0
-    """Token generation iteration for computational faults (0 = prefill)."""
+    """Token generation iteration for transient faults (0 = prefill).
+    KV faults latch: the flip lands at the first append reaching this
+    iteration (speculative chunks may skip exact values)."""
     row_frac: float = 0.0
-    """For computational faults: fraction in [0, 1) mapping to a token
-    row of the (iteration-dependent) output tensor."""
+    """For computational/accumulator faults: fraction in [0, 1)
+    mapping to a token row of the output tensor.  For KV faults:
+    fraction mapping to a token *position* within the cache's occupied
+    prefix at strike time."""
+    engine_side: str = "target"
+    """Which engine of a draft/verify pair the fault lands in
+    (``"target"`` or ``"draft"`` — the speculation-side study)."""
+    plane: str = "k"
+    """KV faults: which cache plane is struck (``"k"`` or ``"v"``)."""
+    acc_frac: float = 0.0
+    """Accumulator faults: fraction in [0, 1) choosing the reduction
+    split — how many of the K products have accumulated when the
+    partial sum is corrupted."""
 
     @property
     def block(self) -> int:
@@ -61,11 +95,54 @@ class FaultSite:
         """The most significant flipped bit (Figs 9/10 group by this)."""
         return max(self.bits)
 
+    @property
+    def surface(self) -> str:
+        """Which runtime state the fault lands in (analysis grouping)."""
+        return self.fault_model.surface
+
 
 def _sample_bits(
     rng: np.random.Generator, n_bits: int, width: int
 ) -> tuple[int, ...]:
     return tuple(int(b) for b in rng.choice(width, size=n_bits, replace=False))
+
+
+def _sample_kv_site(
+    engine: InferenceEngine,
+    fault_model: FaultModel,
+    rng: np.random.Generator,
+    max_iterations: int,
+    layer_filter: LayerFilter | None,
+    engine_side: str,
+) -> FaultSite:
+    """Uniform KV site: block, plane, head, channel, bits, strike time.
+
+    The token *position* is sampled as a fraction (``row_frac``) and
+    resolved against the live cache's occupied length at strike time —
+    the only way a pre-sampled site can be uniform over occupied
+    positions when prompt lengths vary per example.
+    """
+    cfg = engine.config
+    kv_layers = [
+        f"blocks.{b}.{KV_LAYER_SUFFIX}" for b in range(cfg.n_blocks)
+    ]
+    if layer_filter is not None:
+        kv_layers = [name for name in kv_layers if layer_filter(name)]
+    if not kv_layers:
+        raise ValueError("layer filter excluded every KV-cache block")
+    layer_name = kv_layers[int(rng.integers(0, len(kv_layers)))]
+    # K/V buffers are stored float32 regardless of the weight policy.
+    return FaultSite(
+        fault_model=fault_model,
+        layer_name=layer_name,
+        row=int(rng.integers(0, cfg.n_heads)),
+        col=int(rng.integers(0, cfg.head_dim)),
+        bits=_sample_bits(rng, fault_model.n_bits, 32),
+        iteration=int(rng.integers(0, max(1, max_iterations))),
+        row_frac=float(rng.random()),
+        engine_side=engine_side,
+        plane="k" if int(rng.integers(0, 2)) == 0 else "v",
+    )
 
 
 def sample_site(
@@ -74,6 +151,7 @@ def sample_site(
     rng: np.random.Generator,
     max_iterations: int = 1,
     layer_filter: LayerFilter | None = None,
+    engine_side: str = "target",
 ) -> FaultSite:
     """Draw one uniform fault site for ``fault_model`` on ``engine``.
 
@@ -81,13 +159,21 @@ def sample_site(
     ----------
     max_iterations:
         Upper bound (exclusive) for the token-generation iteration a
-        computational fault strikes in; pass the task's
+        transient fault strikes in; pass the task's
         ``max_new_tokens`` for generative tasks and 1 for
         multiple-choice (single forward pass).
     layer_filter:
         Optional predicate restricting target layers (e.g. only MoE
         ``router`` layers for the paper's Fig. 15 gate-layer study).
+    engine_side:
+        Stamped into the site for the speculation-side study
+        (``"draft"`` sites must be sampled against the *draft*
+        engine's geometry — pass that engine here).
     """
+    if fault_model.is_kv:
+        return _sample_kv_site(
+            engine, fault_model, rng, max_iterations, layer_filter, engine_side
+        )
     layers = engine.linear_layer_names()
     if layer_filter is not None:
         layers = [name for name in layers if layer_filter(name)]
@@ -109,12 +195,27 @@ def sample_site(
             row=int(rng.integers(0, rows)),
             col=int(rng.integers(0, cols)),
             bits=_sample_bits(rng, fault_model.n_bits, store.n_storage_bits),
+            engine_side=engine_side,
         )
-    # Computational fault: neuron = output column; the activation is
-    # corrupted in the engine's activation float format.
     from repro.numerics.formats import get_format
 
     width = get_format(engine.activation_format).bits
+    if fault_model.is_accumulator:
+        # Accumulator fault: output column like a computational fault,
+        # plus a uniform reduction split over the K products feeding it.
+        return FaultSite(
+            fault_model=fault_model,
+            layer_name=layer_name,
+            row=0,
+            col=int(rng.integers(0, cols)),
+            bits=_sample_bits(rng, fault_model.n_bits, width),
+            iteration=int(rng.integers(0, max(1, max_iterations))),
+            row_frac=float(rng.random()),
+            engine_side=engine_side,
+            acc_frac=float(rng.random()),
+        )
+    # Computational fault: neuron = output column; the activation is
+    # corrupted in the engine's activation float format.
     return FaultSite(
         fault_model=fault_model,
         layer_name=layer_name,
@@ -123,4 +224,5 @@ def sample_site(
         bits=_sample_bits(rng, fault_model.n_bits, width),
         iteration=int(rng.integers(0, max(1, max_iterations))),
         row_frac=float(rng.random()),
+        engine_side=engine_side,
     )

@@ -53,13 +53,27 @@ __all__ = ["BatchedDecoder", "decode_batching_safe"]
 def decode_batching_safe(engine: InferenceEngine) -> bool:
     """Whether batched decoding preserves exact fault/capture semantics.
 
-    True when nothing is armed, or when every registered hook declared
-    itself row-scoped (one-shot computational injectors): per-row hook
-    application then observes the exact serial tensor shapes and
-    corrupts exactly one sequence.  Weight faults and activation
-    capture always force the serial path — corrupted weights amplify
-    float-associativity differences, and capture records per-sequence
-    tensors.
+    True when nothing is armed, or when every armed fault scopes itself
+    to a single sequence under batching:
+
+    * *row-scoped hooks* (the one-shot computational injectors) — per-row
+      hook application observes the exact serial tensor shapes and
+      corrupts exactly one sequence;
+    * *KV faults* — sequence-scoped by cache identity: the strike lands
+      in one sequence's own cache row (the batched step appends per row
+      to per-row caches, and the injector latches on the first append
+      reaching its iteration — the same sequence the serial loop would
+      strike), and corruption in one slot's K/V is never read by any
+      other row's attention;
+    * *accumulator faults* — applied per flattened GEMM row with per-row
+      iteration matching, so the one-shot strike corrupts exactly one
+      sequence's output element.
+
+    Weight faults and activation capture always force the serial path —
+    corrupted weights amplify float-associativity differences, and
+    capture records per-sequence tensors.  For ``B == 1`` every batched
+    operation is shape-identical to serial, so armed KV/accumulator
+    faults produce bit-identical trial records either way.
     """
     if engine.capture is not None:
         return False

@@ -27,15 +27,25 @@ the benchmark's pre-timing equivalence gate hold the decoded tokens to
 bit-identity with the serial reference.
 
 **FI-safety gate** (:func:`decode_speculation_safe`): speculation
-changes the iteration↔forward mapping (one verify forward covers
-several generation iterations, with a scalar iteration tag), so unlike
-batched decoding it is *never* safe under armed fault machinery — an
-iteration-pinned computational hook would see the wrong tensor, a
-weight fault corrupts draft-shaped work the serial path never runs,
-and capture records per-forward outputs.  Any hook, weight fault or
-capture on either engine forces the exact serial reference path.
-Campaigns therefore speculate only on fault-free baselines; injected
-trials auto-fall back.
+changes the *target's* iteration↔forward mapping (one verify forward
+covers several generation iterations, with a scalar iteration tag), so
+target-side fault machinery is never safe — an iteration-pinned
+computational hook would see the wrong tensor, a weight/KV/accumulator
+fault corrupts draft-shaped work the serial path never runs, and
+capture records per-forward outputs.  Target-side hooks, faults or
+capture force the exact serial reference path, so injected trial
+records never depend on the decode strategy.
+
+Draft corruption, by contrast, is masked *by construction*: every
+emitted token is an argmax of **target** logits over the true emitted
+prefix, so a corrupted proposal can only lower the accept rate — it
+can never change the output.  The draft-vs-target masking study
+measures exactly that, and both its sides must decode through the
+speculative schedule regardless of what is armed, so the campaign's
+speculation-side trials bypass the gate explicitly with
+``decode_one(..., force=True)`` rather than the gate special-casing
+the draft engine (a draft fault under the gate's serial fallback would
+silently never fire).
 """
 
 from __future__ import annotations
@@ -56,19 +66,36 @@ def decode_speculation_safe(
 ) -> bool:
     """Whether speculative decoding preserves exact fault/capture semantics.
 
-    Stricter than :func:`~repro.generation.batched.decode_batching_safe`:
-    even row-scoped computational hooks disqualify, because a verify
-    chunk runs several generation iterations inside one forward whose
+    **Target side** — stricter than
+    :func:`~repro.generation.batched.decode_batching_safe`: even
+    row-scoped computational hooks disqualify, because a verify chunk
+    runs several generation iterations inside one forward whose
     iteration tag is the round's first position — an iteration-pinned
-    hook would fire on the wrong tensor (or not at all).  The single
-    exception is hooks registered ``observer=True`` (pure probes such
-    as layer timing): they never alter tensors, so the reshuffled
-    iteration → forward mapping cannot change results and traced runs
-    keep speculating.  Beyond that both engines must be pristine: no
-    armed weight faults, no capture.
+    hook would fire on the wrong tensor (or not at all).  Armed KV and
+    accumulator faults disqualify for the same reason: the chunked
+    forward visits different (iteration, tensor) pairs than the serial
+    loop, so strike timing — and therefore the trial record — would
+    depend on the decode strategy.  The single exception is hooks
+    registered ``observer=True`` (pure probes such as layer timing):
+    they never alter tensors, so the reshuffled iteration → forward
+    mapping cannot change results and traced runs keep speculating.
+
+    **Draft side** — held to the same bar, even though draft corruption
+    is masked by construction (emitted tokens are always argmaxes of
+    *target* logits over the true emitted prefix, so a corrupted
+    proposal can only lower the accept rate, never change the output).
+    The serial fallback runs *without* the draft entirely, so a
+    draft-armed fault would silently become a no-op there — whether the
+    fault even fires would depend on the decode strategy.  Studies that
+    want faults live inside the speculative schedule (draft-side
+    masking, target-side interaction) therefore bypass this gate
+    explicitly with ``decode_one(..., force=True)`` instead of the gate
+    guessing which side is being studied.
     """
     for e in (engine, draft):
         if e.capture is not None or e.weight_fault_depth > 0:
+            return False
+        if e.kv_fault is not None or e.acc_fault is not None:
             return False
         if len(e.hooks) > 0 and not e.hooks.all_observers():
             return False
@@ -116,16 +143,21 @@ class SpeculativeDecoder:
         self.depth = speculation_depth
 
     def decode_one(
-        self, prompt_ids: list[int], session: Session | None = None
+        self,
+        prompt_ids: list[int],
+        session: Session | None = None,
+        force: bool = False,
     ) -> list[int]:
         """Greedy-decode one prompt; same contract as ``greedy_decode``.
 
         ``session`` optionally supplies an already-prefilled target
         session for ``prompt_ids`` (consumed).  Falls back to the exact
         serial reference loop whenever :func:`decode_speculation_safe`
-        says speculation could change results.
+        says speculation could change results; ``force=True`` skips the
+        gate (the target-side speculation study, which *wants* to
+        measure how faults interact with the speculative schedule).
         """
-        if not decode_speculation_safe(self.engine, self.draft):
+        if not force and not decode_speculation_safe(self.engine, self.draft):
             from repro.generation.decode import greedy_decode
 
             return greedy_decode(

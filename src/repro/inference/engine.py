@@ -85,6 +85,15 @@ class InferenceEngine:
         """Count of currently armed weight (memory) faults.  Maintained
         by :class:`~repro.fi.injector.MemoryFaultInjector` so fast-path
         optimizations can tell whether the stored weights are pristine."""
+        self.kv_fault = None
+        """Armed :class:`~repro.fi.injector.KVFaultInjector` (or None).
+        The attention paths call ``kv_fault.on_append(block, cache,
+        iteration)`` after each cache append so the fault can latch into
+        live K/V state."""
+        self.acc_fault = None
+        """Armed :class:`~repro.fi.injector.AccumulatorFaultInjector`
+        (or None).  :meth:`_linear` calls ``acc_fault.maybe_strike`` on
+        every GEMM while armed."""
 
         # FI-targetable linear layers go behind storage policies; the
         # rest (norm gains, embeddings, lm_head) stay plain float32,
@@ -159,6 +168,8 @@ class InferenceEngine:
         engine.hooks = HookManager()
         engine.capture = None
         engine.weight_fault_depth = 0
+        engine.kv_fault = None
+        engine.acc_fault = None
         engine._stores = {
             name: attach_weight_store(
                 {
@@ -206,28 +217,48 @@ class InferenceEngine:
 
         True when forward hooks are registered (computational-fault
         injectors, Ranger-style detectors, timing probes) or a memory
-        fault is armed (:attr:`weight_fault_depth` > 0).  Redundant-
-        compute optimizations (shared-prefix option scoring, trial
-        prefill caching) must check this and fall back to the exact
-        unshared path so injected corruption propagates exactly as it
-        would have without the optimization.
+        fault is armed (:attr:`weight_fault_depth` > 0,
+        :attr:`kv_fault`, :attr:`acc_fault`).  Redundant-compute
+        optimizations (shared-prefix option scoring, trial prefill
+        caching) must check this and fall back to the exact unshared
+        path so injected corruption propagates exactly as it would have
+        without the optimization.
         """
-        return len(self.hooks) > 0 or self.weight_fault_depth > 0
+        return (
+            len(self.hooks) > 0
+            or self.weight_fault_depth > 0
+            or self.kv_fault is not None
+            or self.acc_fault is not None
+        )
 
     # -- forward ----------------------------------------------------------------
 
-    def _linear(self, x: np.ndarray, layer_name: str) -> np.ndarray:
+    def _linear(
+        self,
+        x: np.ndarray,
+        layer_name: str,
+        iteration=None,
+        rows: np.ndarray | None = None,
+    ) -> np.ndarray:
         """``x @ W`` for ``(t, D)`` or batched ``(B, t, D)`` input.
 
         Batched input is flattened to one ``(B*t, D)`` GEMM so all batch
         elements amortize a single large matmul (and one dispatch)
         instead of ``B`` stacked ones.
+
+        ``iteration``/``rows`` identify *when* this GEMM runs (scalar
+        generation iteration, or the per-row iteration array plus
+        batch-row ids under the batched decode step) so an armed
+        accumulator fault can strike its sampled reduction mid-GEMM.
         """
         w = self._w(layer_name)
+        flat = x if x.ndim == 2 else x.reshape(-1, x.shape[-1])
+        out = flat @ w
+        if self.acc_fault is not None:
+            self.acc_fault.maybe_strike(out, flat, w, layer_name, iteration, rows)
         if x.ndim == 2:
-            return x @ w
-        lead = x.shape[:-1]
-        return (x.reshape(-1, x.shape[-1]) @ w).reshape(*lead, w.shape[1])
+            return out
+        return out.reshape(*x.shape[:-1], w.shape[1])
 
     def _emit(
         self,
@@ -300,9 +331,15 @@ class InferenceEngine:
         t = x.shape[-2]
         heads, hd = cfg.n_heads, cfg.head_dim
 
-        q = self._emit(self._linear(x, prefix + "q_proj"), block, "q_proj", iteration)
-        k = self._emit(self._linear(x, prefix + "k_proj"), block, "k_proj", iteration)
-        v = self._emit(self._linear(x, prefix + "v_proj"), block, "v_proj", iteration)
+        q = self._emit(
+            self._linear(x, prefix + "q_proj", iteration), block, "q_proj", iteration
+        )
+        k = self._emit(
+            self._linear(x, prefix + "k_proj", iteration), block, "k_proj", iteration
+        )
+        v = self._emit(
+            self._linear(x, prefix + "v_proj", iteration), block, "v_proj", iteration
+        )
 
         # (..., t, D) -> (..., heads, t, hd)
         split = (*x.shape[:-1], heads, hd)
@@ -322,6 +359,8 @@ class InferenceEngine:
         scale = np.float32(hd**-0.5)
         if not batched:
             cache.append(k, v)
+            if self.kv_fault is not None:
+                self.kv_fault.on_append(block, cache, iteration)
             keys, values = cache.keys(), cache.values()
             scores = (q @ keys.swapaxes(-1, -2)) * scale
             if allowed is not None:
@@ -342,7 +381,10 @@ class InferenceEngine:
             ctx = attn[..., :p] @ pv + attn[..., p:] @ v
             ctx = ctx.swapaxes(-3, -2).reshape(x.shape[0], t, cfg.d_model)
         return self._emit(
-            self._linear(ctx, prefix + "out_proj"), block, "out_proj", iteration
+            self._linear(ctx, prefix + "out_proj", iteration),
+            block,
+            "out_proj",
+            iteration,
         )
 
     def _mlp(
@@ -356,14 +398,14 @@ class InferenceEngine:
         prefix = f"blocks.{block}."
         tag = "" if expert is None else f"experts.{expert}."
         gate = self._emit(
-            self._linear(h, prefix + tag + "gate_proj"),
+            self._linear(h, prefix + tag + "gate_proj", iteration, rows),
             block,
             tag + "gate_proj",
             iteration,
             rows,
         )
         up = self._emit(
-            self._linear(h, prefix + tag + "up_proj"),
+            self._linear(h, prefix + tag + "up_proj", iteration, rows),
             block,
             tag + "up_proj",
             iteration,
@@ -371,7 +413,7 @@ class InferenceEngine:
         )
         out = silu_np(gate) * up
         return self._emit(
-            self._linear(out, prefix + tag + "down_proj"),
+            self._linear(out, prefix + tag + "down_proj", iteration, rows),
             block,
             tag + "down_proj",
             iteration,
@@ -396,7 +438,11 @@ class InferenceEngine:
             )
         prefix = f"blocks.{block}."
         router_logits = self._emit(
-            h @ self._w(prefix + "router"), block, "router", iteration, rows
+            self._linear(h, prefix + "router", iteration, rows),
+            block,
+            "router",
+            iteration,
+            rows,
         )
         t = h.shape[0]
         k = cfg.top_k
@@ -611,13 +657,25 @@ class InferenceEngine:
         batch = x.shape[0]
 
         q = self._emit(
-            self._linear(x, prefix + "q_proj"), block, "q_proj", iterations, rows
+            self._linear(x, prefix + "q_proj", iterations, rows),
+            block,
+            "q_proj",
+            iterations,
+            rows,
         )
         k = self._emit(
-            self._linear(x, prefix + "k_proj"), block, "k_proj", iterations, rows
+            self._linear(x, prefix + "k_proj", iterations, rows),
+            block,
+            "k_proj",
+            iterations,
+            rows,
         )
         v = self._emit(
-            self._linear(x, prefix + "v_proj"), block, "v_proj", iterations, rows
+            self._linear(x, prefix + "v_proj", iterations, rows),
+            block,
+            "v_proj",
+            iterations,
+            rows,
         )
         q = q.reshape(batch, heads, hd)
         k = k.reshape(batch, heads, hd)
@@ -634,12 +692,14 @@ class InferenceEngine:
         for i in range(batch):
             cache = row_caches[i][block]
             cache.append(k[i][:, None, :], v[i][:, None, :])
+            if self.kv_fault is not None:
+                self.kv_fault.on_append(block, cache, int(iterations[i]))
             keys, values = cache.keys(), cache.values()
             scores = (q[i][:, None, :] @ keys.swapaxes(-1, -2)) * scale
             attn = softmax_np(scores, axis=-1)
             ctx[i] = (attn @ values).transpose(1, 0, 2).reshape(cfg.d_model)
         return self._emit(
-            self._linear(ctx, prefix + "out_proj"),
+            self._linear(ctx, prefix + "out_proj", iterations, rows),
             block,
             "out_proj",
             iterations,

@@ -27,10 +27,24 @@ class KVCache:
     Python.
     """
 
+    #: Truncation watchers (class-level default keeps instances free of
+    #: per-object state until someone actually watches).  A fault
+    #: injector armed on this cache registers itself so that rollbacks —
+    #: rejected speculation rounds, beam forks — can undo a strike that
+    #: landed beyond the surviving prefix (see ``KVFaultInjector``).
+    watchers: tuple = ()
+
     def __init__(self, n_heads: int, max_seq: int, head_dim: int) -> None:
         self.k = np.zeros((n_heads, max_seq, head_dim), dtype=np.float32)
         self.v = np.zeros((n_heads, max_seq, head_dim), dtype=np.float32)
         self.length = 0
+
+    def watch(self, watcher) -> None:
+        """Register a truncation watcher (``on_truncate(cache, length)``)."""
+        self.watchers = self.watchers + (watcher,)
+
+    def unwatch(self, watcher) -> None:
+        self.watchers = tuple(w for w in self.watchers if w is not watcher)
 
     @property
     def max_seq(self) -> int:
@@ -61,6 +75,8 @@ class KVCache:
         truncates back instead of copying the cache)."""
         if not 0 <= length <= self.length:
             raise ValueError(f"cannot truncate cache of {self.length} to {length}")
+        for watcher in self.watchers:
+            watcher.on_truncate(self, length)
         self.length = length
 
     def snapshot(self) -> tuple[np.ndarray, np.ndarray, int]:
@@ -91,6 +107,10 @@ class KVCache:
                 f"snapshot geometry {k.shape} does not match cache buffers"
                 f" {self.k.shape}"
             )
+        # A restore is a rewind too: a fault that fired beyond the
+        # restored prefix must be rolled back just like under truncate.
+        for watcher in self.watchers:
+            watcher.on_truncate(self, length)
         self.k[:, :length] = k
         self.v[:, :length] = v
         self.length = length

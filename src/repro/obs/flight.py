@@ -288,15 +288,35 @@ def _fmt_value(value) -> str:
     return str(value)
 
 
+def _site_surface(site: dict) -> str:
+    """Corrupted runtime surface implied by a site dict's fault model."""
+    model = str(site.get("fault_model", ""))
+    if model.endswith("-mem"):
+        return "weights"
+    if model.endswith("-kv"):
+        return "kv-cache"
+    if model.endswith("-acc"):
+        return "accumulator"
+    return "activations"
+
+
 def _fmt_site(site: dict) -> str:
-    parts = [
-        str(site.get("fault_model")),
-        f"layer {site.get('layer_name')}",
-        f"row {site.get('row')} col {site.get('col')}",
-        f"bits {list(site.get('bits', []))}",
-    ]
-    if site.get("fault_model", "").endswith("comp") or site.get("iteration"):
+    model = str(site.get("fault_model", ""))
+    parts = [model, f"layer {site.get('layer_name')}"]
+    if model.endswith("-kv"):
+        parts.append(
+            f"plane {site.get('plane', 'k')}"
+            f" head {site.get('row')} channel {site.get('col')}"
+        )
+    else:
+        parts.append(f"row {site.get('row')} col {site.get('col')}")
+    parts.append(f"bits {list(site.get('bits', []))}")
+    if model.endswith("-acc"):
+        parts.append(f"split {site.get('acc_frac', 0.0):.2f}")
+    if not model.endswith("-mem") or site.get("iteration"):
         parts.append(f"iteration {site.get('iteration')}")
+    if site.get("engine_side", "target") != "target":
+        parts.append(f"engine {site.get('engine_side')}")
     return " · ".join(parts)
 
 
@@ -334,6 +354,8 @@ def explain_trial(record: dict) -> str:
     lines = [
         f"== trial {record['trial']} · outcome {record.get('outcome')} ==",
         f"fault      {_fmt_site(site)}",
+        f"surface    {_site_surface(site)}"
+        f" ({site.get('engine_side', 'target')} engine)",
         f"example    {record.get('example_index')}"
         f" (key {':'.join(str(k) for k in record.get('key', []))})",
     ]

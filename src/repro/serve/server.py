@@ -99,6 +99,9 @@ class StreamHandle:
         self.finish_reason: str | None = None
         self.ttft_s: float | None = None
         self.latency_s: float | None = None
+        self.kv_fired: bool = False
+        """For requests submitted with a ``kv_fault``: whether the armed
+        KV fault actually struck before the stream finished."""
 
     # -- client API ------------------------------------------------------------
 
@@ -167,6 +170,11 @@ class _Request:
     position: int = 0
     iteration: int = 0
     last_token: int = -1
+    kv_fault: "object | None" = None
+    """Optional :class:`~repro.fi.sites.FaultSite` (a KV fault model):
+    armed against this request's pool slot at prefill, disarmed and
+    restored at retirement."""
+    kv_injector: "object | None" = None
 
     def __post_init__(self) -> None:
         self.handle = StreamHandle(self)
@@ -217,6 +225,9 @@ class InferenceServer:
         self.admission_log: list[tuple[str, int]] = []
         """``(tenant, request_id)`` in admission order — the observable
         the fairness tests (and ``repro serve``'s summary) read."""
+        self._kv_fault_inflight = 0
+        """Fault-carrying requests currently queued or active (at most
+        one — the engine holds a single armed KV fault)."""
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -290,16 +301,33 @@ class InferenceServer:
         prompt_ids: list[int],
         tenant: str | None = None,
         max_new_tokens: int | None = None,
+        kv_fault: "object | None" = None,
     ) -> StreamHandle:
         """Enqueue a prompt; returns its stream handle immediately.
 
         Raises :class:`ServeRejected` when the server is shutting down,
         the prompt cannot fit the context window, or the tenant's
         bounded queue is full (overload shed).
+
+        ``kv_fault`` optionally attaches a KV-model
+        :class:`~repro.fi.sites.FaultSite` to the request: the pump
+        arms a :class:`~repro.fi.injector.KVFaultInjector` pinned to
+        this request's pool slot for the request's lifetime, so the
+        fault decodes mid-batch alongside other tenants' streams while
+        its blast radius stays scoped to this one sequence.  At most
+        one fault-carrying request may be in flight (the engine holds a
+        single armed KV fault); a second is rejected with reason
+        ``"kv_fault_busy"``.  :attr:`StreamHandle.kv_fired` reports
+        whether the fault struck.
         """
         name = tenant or self.default_tenant
         if not prompt_ids:
             raise ValueError("prompt must contain at least one token")
+        if kv_fault is not None and not kv_fault.fault_model.is_kv:
+            raise ValueError(
+                f"submit(kv_fault=...) takes a KV fault model,"
+                f" got {kv_fault.fault_model.value}"
+            )
         budget = (
             self.config.max_new_tokens
             if max_new_tokens is None
@@ -317,6 +345,13 @@ class InferenceServer:
         with self._work:
             if self._stop:
                 raise ServeRejected(name, "shutdown")
+            if kv_fault is not None and self._kv_fault_inflight > 0:
+                raise ServeRejected(
+                    name,
+                    "kv_fault_busy",
+                    "another fault-carrying request is already in flight"
+                    " (the engine holds one armed KV fault)",
+                )
             state = self._sched.get(name)
             if state is None:
                 state = self._sched.add(TenantConfig(name))
@@ -337,7 +372,10 @@ class InferenceServer:
                 prompt=list(prompt_ids),
                 max_new=budget,
                 t_submit=time.perf_counter(),
+                kv_fault=kv_fault,
             )
+            if kv_fault is not None:
+                self._kv_fault_inflight += 1
             state.queue.append(request)
             state.submitted += 1
             self._work.notify_all()
@@ -412,6 +450,17 @@ class InferenceServer:
         slot = self.pool.acquire()
         request.slot = slot
         request.caches = self.pool.caches(slot)
+        if request.kv_fault is not None:
+            # Lazy import: the serving layer is usable without the FI
+            # package, and fi imports the engine this module wraps.
+            from repro.fi.injector import KVFaultInjector
+
+            # Pinning to this request's slot views scopes the strike to
+            # this one sequence; arming before the prompt forward lets
+            # iteration-0 sites corrupt prefill K/V.
+            request.kv_injector = KVFaultInjector(
+                self.engine, request.kv_fault, caches=request.caches
+            ).__enter__()
         logits = self.engine.forward(
             request.prompt, request.caches, start_pos=0, iteration=0
         )[-1]
@@ -478,6 +527,18 @@ class InferenceServer:
     ) -> None:
         """Retire a request: release its KV slot, terminate its stream,
         record SLO telemetry."""
+        if request.kv_injector is not None:
+            # Disarm before the slot goes back to the pool: __exit__
+            # restores the flipped bits so the next tenant inherits a
+            # clean cache, and clears engine.kv_fault for the next
+            # fault-carrying request.
+            request.handle.kv_fired = bool(request.kv_injector.fired)
+            request.kv_injector.__exit__(None, None, None)
+            request.kv_injector = None
+        if request.kv_fault is not None:
+            with self._lock:
+                self._kv_fault_inflight -= 1
+            request.kv_fault = None
         if request.slot is not None:
             self.pool.release(request.slot)
             request.slot = None
