@@ -1,0 +1,239 @@
+"""Composed batched-speculative decoding benchmark.
+
+``BENCH_spec.json`` documents the motivating conflict: single-sequence
+draft-and-verify beats serial (~1.7x) but *loses* to continuous
+batching (~0.68x), so the two fast paths were an either/or.  This bench
+measures the composition — :class:`repro.generation.BatchedSpeculativeDecoder`
+proposes with the draft for all live rows at once and verifies every
+row's chunk in grouped batched target forwards — against batched-alone
+at the same batch widths, over the same trained target/draft pair and
+mixed generative-task prompts as the speculation bench (both are
+imported from ``bench_speculative``).
+
+Before timing, composed outputs are asserted token-identical to the
+serial greedy reference on every prompt at every (depth, batch width)
+tested; any mismatch exits non-zero, so the CI smoke job doubles as an
+equivalence gate for the composed scheduler.
+
+Floors (full runs only): composed throughput >= 1.15x batched-alone at
+its best batch width >= 4, never below 1.0x batched-alone at any
+B >= 4 point, and > 2x the serial reference overall — the
+multiplicative win the composition exists for.  (The vs-batched edge
+narrows as width grows — at B=8 the batched step is already
+dispatch-amortized, so fewer-but-bigger verify forwards buy less.)
+
+Writes ``BENCH_spec_batched.json`` under ``artifacts/results/`` and
+copies it to the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_spec_batched.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from bench_speculative import (
+    EQUIV_DEPTHS,
+    NO_EOS,
+    SEED,
+    _build_pair,
+    _task_prompts,
+    _timed,
+)
+
+from repro.generation import (
+    BatchedDecoder,
+    BatchedSpeculativeDecoder,
+    GenerationConfig,
+    greedy_decode,
+)
+from repro.obs import build_manifest, telemetry
+
+
+def _accept_stats(decoder, prompts) -> dict:
+    """Decode once with telemetry on; read the accept-rate metrics."""
+    tel = telemetry()
+    tel.reset()
+    tel.enable()
+    try:
+        decoder.decode_many(prompts)
+        snap = tel.metrics.snapshot()
+    finally:
+        tel.reset()
+        tel.disable()
+    accept_lens = snap["histograms"].get("decode.spec_accept_len", [])
+    accepted = float(sum(accept_lens))
+    rejected = float(snap["counters"].get("decode.spec_rejected", 0.0))
+    proposed = accepted + rejected
+    return {
+        "rounds": int(snap["counters"].get("decode.spec_rounds", 0)),
+        "proposed": int(proposed),
+        "accepted": int(accepted),
+        "accept_rate": accepted / proposed if proposed else 0.0,
+        "mean_accept_len": accepted / len(accept_lens) if accept_lens else 0.0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    parser.add_argument(
+        "--depth", type=int, default=4,
+        help="speculation depth for the timed runs",
+    )
+    args = parser.parse_args(argv)
+
+    target, draft, tok, world = _build_pair(args.smoke)
+    by_task = _task_prompts(world, tok, args.smoke)
+    # One mixed workload across all four generative tasks — the batch
+    # is heterogeneous on purpose, like the serving traffic mix.
+    prompts = [p for name in sorted(by_task) for p in by_task[name]]
+    gen = GenerationConfig(max_new_tokens=32, eos_id=NO_EOS)
+    batch_sizes = (1, 4) if args.smoke else (1, 4, 8)
+
+    serial = [greedy_decode(target, p, gen, strategy="serial") for p in prompts]
+    n_tokens = sum(len(ids) for ids in serial)
+
+    # -- pre-timing equivalence gate: every depth x batch width ------------
+    checked = 0
+    for depth in EQUIV_DEPTHS:
+        for width in batch_sizes:
+            decoder = BatchedSpeculativeDecoder(
+                target, draft, gen, speculation_depth=depth, max_batch=width
+            )
+            got = decoder.decode_many(prompts)
+            if got != serial:
+                raise SystemExit(
+                    f"composed decode (depth {depth}, batch {width})"
+                    " diverged from the serial greedy reference"
+                )
+            checked += len(prompts)
+    print(
+        f"equivalence gate: {checked} streams token-identical to serial"
+        f" (depths {list(EQUIV_DEPTHS)}, batch widths {list(batch_sizes)})"
+    )
+
+    # -- timing ------------------------------------------------------------
+    reps = 1 if args.smoke else 2
+    wall_serial = _timed(
+        lambda: [greedy_decode(target, p, gen, strategy="serial")
+                 for p in prompts],
+        reps,
+    )
+    total = reps * n_tokens
+    sweep = []
+    for width in batch_sizes:
+        batched = BatchedDecoder(target, gen, max_batch=width)
+        composed = BatchedSpeculativeDecoder(
+            target, draft, gen, speculation_depth=args.depth, max_batch=width
+        )
+        wall_batched = _timed(lambda: batched.decode_many(prompts), reps)
+        wall_composed = _timed(lambda: composed.decode_many(prompts), reps)
+        point = {
+            "batch": width,
+            "tokens_per_sec_batched": total / wall_batched,
+            "tokens_per_sec_composed": total / wall_composed,
+            "wall_s_batched": wall_batched,
+            "wall_s_composed": wall_composed,
+            "speedup_composed_vs_batched": wall_batched / wall_composed,
+            "speedup_composed_vs_serial": wall_serial / wall_composed,
+        }
+        sweep.append(point)
+        print(
+            f"B={width}: batched {point['tokens_per_sec_batched']:7.1f}"
+            f" -> composed {point['tokens_per_sec_composed']:7.1f} tok/s"
+            f" ({point['speedup_composed_vs_batched']:.2f}x vs batched,"
+            f" {point['speedup_composed_vs_serial']:.2f}x vs serial)"
+        )
+
+    stats = _accept_stats(
+        BatchedSpeculativeDecoder(
+            target, draft, gen,
+            speculation_depth=args.depth, max_batch=max(batch_sizes),
+        ),
+        prompts,
+    )
+    best = max(sweep, key=lambda p: p["tokens_per_sec_composed"])
+    wide = [p for p in sweep if p["batch"] >= 4]
+    peak = max(
+        wide or sweep, key=lambda p: p["speedup_composed_vs_batched"]
+    )
+    overall = {
+        "speculation_depth": args.depth,
+        "equivalence_depths": list(EQUIV_DEPTHS),
+        "batch_sizes": list(batch_sizes),
+        "n_prompts": len(prompts),
+        "tokens_decoded": n_tokens,
+        "accept_rate": stats["accept_rate"],
+        "mean_accept_len": stats["mean_accept_len"],
+        "wall_s_serial": wall_serial,
+        "tokens_per_sec_serial": total / wall_serial,
+        "best_batch": best["batch"],
+        "speedup_vs_serial": wall_serial / best["wall_s_composed"],
+        "speedup_vs_batched_best": best["speedup_composed_vs_batched"],
+        "peak_vs_batched_batch": peak["batch"],
+        "speedup_vs_batched_peak": peak["speedup_composed_vs_batched"],
+    }
+    print(
+        f"overall: {overall['speedup_vs_serial']:.2f}x vs serial at"
+        f" B={best['batch']},"
+        f" {overall['speedup_vs_batched_best']:.2f}x vs batched-alone"
+        f" (peak {overall['speedup_vs_batched_peak']:.2f}x at"
+        f" B={peak['batch']}), accept {stats['accept_rate']:.2f}"
+    )
+    if stats["accept_rate"] <= 0.0:
+        raise SystemExit("composed speculation accepted zero draft tokens")
+    if not args.smoke:
+        for point in wide:
+            if point["speedup_composed_vs_batched"] < 1.0:
+                raise SystemExit(
+                    f"composed {point['speedup_composed_vs_batched']:.2f}x"
+                    f" vs batched-alone at B={point['batch']} loses to"
+                    " batched-alone (floor 1.0x at every B >= 4)"
+                )
+        if overall["speedup_vs_batched_peak"] < 1.15:
+            raise SystemExit(
+                f"composed peak {overall['speedup_vs_batched_peak']:.2f}x"
+                f" vs batched-alone (B={peak['batch']}) is below the"
+                " 1.15x acceptance floor"
+            )
+        if overall["speedup_vs_serial"] <= 2.0:
+            raise SystemExit(
+                f"composed speedup {overall['speedup_vs_serial']:.2f}x vs"
+                " serial is below the 2x acceptance floor"
+            )
+
+    payload = {
+        "bench_id": "spec_batched",
+        "title": "Batched speculative decoding: composed vs batched-alone",
+        "smoke": args.smoke,
+        "equivalence": {
+            "identical": True,
+            "checked": checked,
+            "depths": list(EQUIV_DEPTHS),
+            "batch_sizes": list(batch_sizes),
+        },
+        "sweep": sweep,
+        "overall": overall,
+        "manifest": build_manifest(
+            seed=SEED,
+            config={
+                "bench": "spec_batched",
+                "smoke": args.smoke,
+                "depth": args.depth,
+            },
+            command="bench:spec_batched",
+        ),
+    }
+
+    from conftest import write_bench_json
+
+    out, root_copy = write_bench_json("spec_batched", payload, out=args.out)
+    print(f"wrote {out} (+ {root_copy})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

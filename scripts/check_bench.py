@@ -17,7 +17,14 @@ until a downstream reader breaks.  This checker pins the contract:
   README cites; ``BENCH_serve.json``: a passing served-vs-serial
   equivalence gate, a monotonically increasing offered-load sweep with
   finite p50/p99 TTFT/latency fields, and — on full runs — saturation
-  throughput >= 2x the serial baseline).
+  throughput >= 2x the serial baseline; ``BENCH_spec_batched.json``:
+  a passing pre-timing equivalence gate and, on full runs, composed
+  batched-speculative throughput >= 1x batched-alone at every batch
+  width >= 4, >= 1.15x at the best such width, and > 2x serial
+  overall);
+* advisory warnings (``WARN``, never failures) where a number is
+  legal but regressive — e.g. ``BENCH_spec.json`` full runs where
+  single-sequence speculation loses to plain batching.
 
 Exit status is non-zero on any violation; CI runs this in the tier-1
 job.
@@ -174,11 +181,112 @@ def _check_serve(payload: dict) -> list[str]:
     return problems
 
 
-BENCH_CHECKS = {"scaleout": _check_scaleout, "serve": _check_serve}
+def _warn_spec(payload: dict) -> list[str]:
+    """Advisory check for the speculation-alone artifact: serial-side
+    speculation losing to plain batching on a full run is not a schema
+    violation, but it is the exact regression the composed decoder
+    (``BENCH_spec_batched.json``) exists to fix — surface it."""
+    overall = payload.get("overall")
+    if not isinstance(overall, dict) or payload.get("smoke") is True:
+        return []
+    ratio = overall.get("speedup_vs_batched")
+    if _finite(ratio) and ratio < 1.0:
+        return [
+            f"spec: full-run speculation is {ratio:.2f}x plain batching"
+            " (< 1.0x) — single-sequence draft-and-verify loses to the"
+            " continuous batcher; the composed BENCH_spec_batched path"
+            " is the one that should be serving"
+        ]
+    return []
 
 
-def check_bench_file(path: Path) -> list[str]:
-    """Validate one artifact; returns a list of problems (empty = ok)."""
+def _check_spec_batched(payload: dict) -> list[str]:
+    """Shape + floor check for the composed batched-speculative
+    artifact: the pre-timing equivalence gate must have passed, the
+    batch sweep must be well-formed, and on full runs the composed
+    decoder must not lose to batched-alone at any batch width >= 4,
+    must beat it >= 1.15x at its best wide point, and must beat serial
+    by > 2x overall."""
+    problems = []
+    equivalence = payload.get("equivalence")
+    if not isinstance(equivalence, dict) \
+            or equivalence.get("identical") is not True:
+        problems.append("spec_batched: equivalence.identical must be true")
+    elif not isinstance(equivalence.get("checked"), int) \
+            or equivalence["checked"] < 1:
+        problems.append(
+            "spec_batched: equivalence.checked must be a positive int"
+        )
+    sweep = payload.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        return problems + ["spec_batched: missing or empty 'sweep'"]
+    full = payload.get("smoke") is not True
+    saw_wide = False
+    wide_ratios = []
+    for i, point in enumerate(sweep):
+        if not isinstance(point, dict):
+            problems.append(f"spec_batched: sweep[{i}] must be an object")
+            continue
+        batch = point.get("batch")
+        if not isinstance(batch, int) or batch < 1:
+            problems.append(
+                f"spec_batched: sweep[{i}].batch must be a positive int"
+            )
+            continue
+        for key in ("tokens_per_sec_batched", "tokens_per_sec_composed",
+                    "speedup_composed_vs_batched"):
+            if not _finite(point.get(key)) or point[key] <= 0:
+                problems.append(
+                    f"spec_batched: sweep[{i}].{key} must be positive"
+                )
+        ratio = point.get("speedup_composed_vs_batched")
+        if batch >= 4:
+            saw_wide = True
+            if _finite(ratio):
+                wide_ratios.append(ratio)
+            # The floor the composition exists for: at real batch
+            # widths the composed decoder must not lose to batching
+            # alone (full runs only; smoke boxes are too noisy).
+            if full and _finite(ratio) and ratio < 1.0:
+                problems.append(
+                    f"spec_batched: composed decoder is {ratio:.2f}x"
+                    f" batched-alone at B={batch} (full-run floor is"
+                    " >= 1.0x)"
+                )
+    if not saw_wide:
+        problems.append("spec_batched: sweep has no batch >= 4 point")
+    elif full and wide_ratios and max(wide_ratios) < 1.15:
+        problems.append(
+            f"spec_batched: composed decoder peaks at {max(wide_ratios):.2f}x"
+            " batched-alone across batch widths >= 4 (full-run floor is"
+            " >= 1.15x at the best wide point)"
+        )
+    overall = payload.get("overall")
+    if not isinstance(overall, dict):
+        return problems + ["spec_batched: missing or non-object 'overall'"]
+    if not _finite(overall.get("speedup_vs_serial")):
+        problems.append("spec_batched: overall.speedup_vs_serial must be finite")
+    elif full and overall["speedup_vs_serial"] <= 2.0:
+        problems.append(
+            "spec_batched: full-run composed throughput must be > 2x the"
+            f" serial baseline, got {overall['speedup_vs_serial']:.2f}x"
+        )
+    return problems
+
+
+BENCH_CHECKS = {
+    "scaleout": _check_scaleout,
+    "serve": _check_serve,
+    "spec_batched": _check_spec_batched,
+}
+
+# Advisory checks: printed as WARN lines, never counted as failures.
+BENCH_WARNINGS = {"spec": _warn_spec}
+
+
+def check_bench_file(path: Path, warnings: "list[str] | None" = None) -> list[str]:
+    """Validate one artifact; returns a list of problems (empty = ok).
+    Advisory findings are appended to ``warnings`` when provided."""
     problems = []
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
@@ -218,6 +326,10 @@ def check_bench_file(path: Path) -> list[str]:
     extra_check = BENCH_CHECKS.get(bench_id) if isinstance(bench_id, str) else None
     if extra_check is not None:
         problems.extend(extra_check(payload))
+    if warnings is not None and isinstance(bench_id, str):
+        warn_check = BENCH_WARNINGS.get(bench_id)
+        if warn_check is not None:
+            warnings.extend(warn_check(payload))
     return problems
 
 
@@ -229,11 +341,14 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     failures = 0
     for path in paths:
-        problems = check_bench_file(path)
+        warnings: list[str] = []
+        problems = check_bench_file(path, warnings)
         try:
             rel = path.relative_to(REPO_ROOT)
         except ValueError:
             rel = path
+        for warning in warnings:
+            print(f"WARN {rel}: {warning}", file=sys.stderr)
         if problems:
             failures += 1
             for problem in problems:

@@ -22,7 +22,9 @@ Commands
     Run the multi-tenant streaming inference server under an open-loop
     Poisson load sweep (mixed gsm8k/wmt16/xlsum/squadv2 prompt shapes);
     prints per-point throughput and p50/p99 TTFT / end-to-end latency
-    after a served-vs-serial token-identity gate.
+    after a served-vs-serial token-identity gate.  ``--draft-model NAME
+    --spec-depth GAMMA`` serves batched-speculative rounds (the gate
+    then covers the composed path too).
 ``experiment ID [...]``
     Reproduce one paper table/figure (e.g. ``fig17``, ``table2``).
 ``obs report RUN.jsonl [RUN2.jsonl ...]``
@@ -237,6 +239,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="override per-task token budgets with a fixed budget",
     )
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--draft-model",
+        choices=zoo_names(),
+        default=None,
+        help="zoo model drafting for the server's batched-speculative"
+        " decode rounds (streams stay token-identical to serial)",
+    )
+    serve.add_argument(
+        "--spec-depth",
+        type=int,
+        default=4,
+        metavar="GAMMA",
+        help="draft tokens proposed per speculative verify round",
+    )
     serve.add_argument(
         "--skip-equivalence",
         action="store_true",
@@ -533,9 +549,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_new_tokens=max(p.max_new for p in prompts),
         eos_id=ctx.tokenizer.vocab.eos_id,
     )
+    draft = ctx.engine(args.draft_model) if args.draft_model else None
     if not args.skip_equivalence:
         checked = equivalence_gate(
-            engine, config, prompts, max_batch=args.max_batch
+            engine, config, prompts, max_batch=args.max_batch,
+            draft=draft, speculation_depth=args.spec_depth,
         )
         print(f"equivalence gate: {checked} prompts served token-identical"
               f" to serial greedy_decode")
@@ -545,7 +563,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f" {'e2e p99':>9s}")
     print(header)
     for rps in args.rps:
-        with InferenceServer(engine, config, max_batch=args.max_batch) as srv:
+        with InferenceServer(
+            engine, config, max_batch=args.max_batch,
+            draft=draft, speculation_depth=args.spec_depth,
+        ) as srv:
             report = run_load(
                 srv,
                 prompts,

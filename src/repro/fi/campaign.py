@@ -71,7 +71,8 @@ from repro.fi.outcomes import Outcome, classify_direct_answer, classify_generati
 from repro.fi.sites import FaultSite, LayerFilter, sample_site
 from repro.generation.batched import BatchedDecoder, decode_batching_safe
 from repro.generation.decode import GenerationConfig, choose_option, generate_ids
-from repro.generation.speculative import SpeculativeDecoder
+from repro.generation.spec_batched import BatchedSpeculativeDecoder
+from repro.generation.speculative import SpeculativeDecoder, decode_speculation_safe
 from repro.inference.engine import CaptureState, InferenceEngine
 from repro.metrics.evaluate import score_generative
 from repro.model.params import arena_nbytes
@@ -1000,18 +1001,42 @@ class FICampaign:
         self._serve = None
         self._serve_faults = False
 
+    def _serve_fallback(self, reason: str) -> None:
+        """An attached server declined the baseline sweep: count the
+        degradation (``serve.campaign_fallback.<reason>``, rendered by
+        ``repro obs report``) so silently falling back to the local
+        decode path is observable instead of invisible."""
+        tel = _telemetry()
+        if tel.active:
+            tel.metrics.counter(f"serve.campaign_fallback.{reason}").add()
+
     def _serve_baseline(self, prompts: list[list[int]]) -> "list[str] | None":
         """Submit the baseline sweep as tenant traffic; ``None`` when
-        the attached server cannot take it (not running, beams, armed
-        fault machinery) so the caller falls back to the local path."""
+        the attached server cannot take it (not running, beams, draft
+        mismatch, armed fault machinery) so the caller falls back to
+        the local path — every decline increments a reason-labelled
+        ``serve.campaign_fallback`` counter."""
         server = self._serve
-        if (
-            server is None
-            or not server.running
-            or self.generation.num_beams != 1
-            or self.draft_model is not None
-            or not decode_batching_safe(self.engine)
-        ):
+        if server is None:
+            return None
+        if not server.running:
+            self._serve_fallback("not_running")
+            return None
+        if self.generation.num_beams != 1:
+            self._serve_fallback("beam_search")
+            return None
+        if self.draft_model is not None:
+            # Speculative baselines route through the server only when
+            # it speculates with the *same* draft — otherwise served
+            # and local perf shapes would silently diverge.
+            if server.draft is not self.draft_model:
+                self._serve_fallback("speculation_unsupported")
+                return None
+            if not decode_speculation_safe(self.engine, self.draft_model):
+                self._serve_fallback("fault_machinery")
+                return None
+        if not decode_batching_safe(self.engine):
+            self._serve_fallback("fault_machinery")
             return None
         handles = [
             server.submit(
@@ -1040,17 +1065,20 @@ class FICampaign:
                 preds = served
             elif self.draft_model is not None and self.generation.num_beams == 1:
                 # Fault-free greedy sweep with a draft available: this
-                # is the dominant campaign cost, so speculate (the
-                # decoder still falls back to serial if anything is
+                # is the dominant campaign cost, so speculate over a
+                # continuous batch (the decoder's gate matrix drops to
+                # plain batching or the serial reference if anything is
                 # armed).
-                spec = SpeculativeDecoder(
+                decoder = BatchedSpeculativeDecoder(
                     self.engine,
                     self.draft_model,
                     self.generation,
                     speculation_depth=self.speculation_depth,
+                    max_batch=self.decode_batch_size,
                 )
                 preds = [
-                    self.tokenizer.decode(spec.decode_one(p)) for p in prompts
+                    self.tokenizer.decode(ids)
+                    for ids in decoder.decode_many(prompts)
                 ]
             else:
                 # Fault-free sweep: nothing is armed, so the continuous

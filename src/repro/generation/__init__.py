@@ -11,6 +11,7 @@ from repro.generation.decode import (
     score_continuation,
     score_options,
 )
+from repro.generation.spec_batched import BatchedSpeculativeDecoder
 from repro.generation.speculative import (
     SpeculativeDecoder,
     decode_speculation_safe,
@@ -18,6 +19,7 @@ from repro.generation.speculative import (
 
 __all__ = [
     "BatchedDecoder",
+    "BatchedSpeculativeDecoder",
     "GenerationConfig",
     "SpeculativeDecoder",
     "beam_search_decode",

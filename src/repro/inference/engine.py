@@ -706,6 +706,189 @@ class InferenceEngine:
             rows,
         )
 
+    def forward_chunk_batch(
+        self,
+        tokens: np.ndarray | list[list[int]],
+        row_caches: list[list[KVCache]],
+        positions: np.ndarray | list[int],
+        iterations: np.ndarray | list[int],
+    ) -> np.ndarray:
+        """Multi-token decode chunks for ``B`` independent sequences.
+
+        The missing quadrant between :meth:`forward` and
+        :meth:`forward_step_batch`: ``tokens`` is a rectangular
+        ``(B, t)`` chunk batch and every row **appends to its own
+        caches** (``row_caches[i]``, typically pooled slot views)
+        starting at its own ``positions[i]``.  The shared-prefix 2-D
+        :meth:`forward` mode scores against one read-only cache and
+        :meth:`forward_step_batch` is single-token; batched speculative
+        verification needs both raggedness *and* chunk width, which is
+        exactly this.
+
+        Linear layers run as single flattened ``(B*t, D)`` GEMMs; RoPE
+        tables are gathered per row from the ragged positions; the
+        attention core runs per row against that row's own cache
+        (which, after the append, holds prefix + chunk) under the
+        standard causal mask.  For ``B == 1`` every operation is
+        shape-identical to the 1-D chunked :meth:`forward`, so logits
+        are bit-identical to the serial speculative verify path.
+
+        ``iterations[i]`` tags row ``i``'s chunk with its generation
+        iteration (the round's first emitted-token index, matching the
+        serial speculative decoder's scalar tag); an armed KV fault
+        receives per-row ``on_append`` callbacks against per-row
+        caches, so slot-pinned injectors latch exactly as they would on
+        that row's serial decode.  Hooks observe per-row
+        ``(1, t, features)`` views (only *observer* hooks are admitted
+        here by the FI gates); activation capture is rejected and an
+        armed accumulator fault never strikes on this path — the
+        composed-decode gate matrix routes capture/acc/non-observer
+        machinery to the batched or serial paths instead.
+
+        Returns logits of shape ``(B, t, vocab)``.
+        """
+        ids = np.asarray(tokens, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ValueError(
+                f"tokens must be a rectangular (B, t) batch, got {ids.shape}"
+            )
+        if self.capture is not None:
+            raise RuntimeError(
+                "forward_chunk_batch does not support activation capture;"
+                " use the serial per-sequence path"
+            )
+        if self.acc_fault is not None:
+            raise RuntimeError(
+                "forward_chunk_batch cannot honor an armed accumulator"
+                " fault (per-row strike mapping is single-token); the"
+                " decode gate matrix must route acc faults to the"
+                " batched or serial paths"
+            )
+        if len(row_caches) != ids.shape[0]:
+            raise ValueError(
+                f"{ids.shape[0]} chunk rows but {len(row_caches)} cache rows"
+            )
+        pos = np.asarray(positions, dtype=np.int64)
+        its = np.asarray(iterations, dtype=np.int64)
+        tel = _telemetry()
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            if not tel.active:
+                return self._chunk_batch_impl(ids, row_caches, pos, its)
+            t0 = time.perf_counter()
+            out = self._chunk_batch_impl(ids, row_caches, pos, its)
+            metrics = tel.metrics
+            metrics.histogram("engine.forward_ms").observe(
+                (time.perf_counter() - t0) * 1e3
+            )
+            metrics.counter("engine.forward_calls").add()
+            metrics.counter("engine.tokens").add(ids.size)
+            return out
+
+    def _chunk_batch_impl(
+        self,
+        ids: np.ndarray,
+        row_caches: list[list[KVCache]],
+        positions: np.ndarray,
+        iterations: np.ndarray,
+    ) -> np.ndarray:
+        cfg = self.config
+        batch, t = ids.shape
+        rows = np.arange(batch)
+        offs = np.arange(t)
+        x = self._plain["embed.weight"][ids]  # (B, t, D)
+        # Per-row RoPE gather: row i rotates positions[i] .. positions[i]+t-1.
+        gather = positions[:, None] + offs[None, :]
+        cos = self._cos[gather][:, None, :, :]  # (B, 1, t, hd)
+        sin = self._sin[gather][:, None, :, :]
+        # Ragged prefix lengths make the causal masks per-row: the
+        # prefix is fully visible, the chunk is causal within itself —
+        # the same mask the 1-D chunked forward builds from start_pos.
+        masks: list[np.ndarray | None]
+        if t > 1:
+            masks = [
+                np.arange(int(p) + t)[None, :] <= (int(p) + offs)[:, None]
+                for p in positions
+            ]
+        else:
+            masks = [None] * batch
+        for b in range(cfg.n_blocks):
+            prefix = f"blocks.{b}."
+            h = rms_norm_np(
+                x, self._plain[prefix + "attn_norm.weight"], cfg.norm_eps
+            )
+            x = x + self._attention_chunk(
+                h, b, row_caches, cos, sin, masks, iterations, rows
+            )
+            h = rms_norm_np(x, self._plain[prefix + "mlp_norm.weight"], cfg.norm_eps)
+            if cfg.is_moe:
+                x = x + self._moe(h, b, iterations, rows=rows)
+            else:
+                x = x + self._mlp(h, b, iterations, rows=rows)
+        x = rms_norm_np(x, self._plain["final_norm.weight"], cfg.norm_eps)
+        head = self._plain["lm_head.weight"]
+        return (x.reshape(-1, x.shape[-1]) @ head).reshape(batch, t, -1)
+
+    def _attention_chunk(
+        self,
+        x: np.ndarray,
+        block: int,
+        row_caches: list[list[KVCache]],
+        cos: np.ndarray,
+        sin: np.ndarray,
+        masks: "list[np.ndarray | None]",
+        iterations: np.ndarray,
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        """Attention for one batched multi-token chunk: shared
+        projections, per-row cache append + masked score/softmax/context
+        (rows are ragged — each attends to its own cache's filled prefix
+        plus its own chunk)."""
+        cfg = self.config
+        prefix = f"blocks.{block}."
+        heads, hd = cfg.n_heads, cfg.head_dim
+        batch, t, _ = x.shape
+
+        q = self._emit(
+            self._linear(x, prefix + "q_proj"), block, "q_proj", iterations, rows
+        )
+        k = self._emit(
+            self._linear(x, prefix + "k_proj"), block, "k_proj", iterations, rows
+        )
+        v = self._emit(
+            self._linear(x, prefix + "v_proj"), block, "v_proj", iterations, rows
+        )
+        split = (batch, t, heads, hd)
+        q = q.reshape(split).swapaxes(1, 2)  # (B, heads, t, hd)
+        k = k.reshape(split).swapaxes(1, 2)
+        v = v.reshape(split).swapaxes(1, 2)
+        half = hd // 2
+
+        def rot(a: np.ndarray) -> np.ndarray:
+            rotated = np.concatenate([-a[..., half:], a[..., :half]], axis=-1)
+            return a * cos + rotated * sin
+
+        q, k = rot(q), rot(k)
+        scale = np.float32(hd**-0.5)
+        ctx = np.empty((batch, t, cfg.d_model), dtype=np.float32)
+        for i in range(batch):
+            cache = row_caches[i][block]
+            cache.append(k[i], v[i])
+            if self.kv_fault is not None:
+                self.kv_fault.on_append(block, cache, int(iterations[i]))
+            keys, values = cache.keys(), cache.values()
+            scores = (q[i] @ keys.swapaxes(-1, -2)) * scale
+            if masks[i] is not None:
+                scores = np.where(masks[i][None], scores, np.float32(-1e9))
+            attn = softmax_np(scores, axis=-1)
+            ctx[i] = (attn @ values).transpose(1, 0, 2).reshape(t, cfg.d_model)
+        return self._emit(
+            self._linear(ctx, prefix + "out_proj"),
+            block,
+            "out_proj",
+            iterations,
+            rows,
+        )
+
     def new_caches(self) -> list[KVCache]:
         cfg = self.config
         return [

@@ -179,9 +179,9 @@ def _flight_section(run: RunData) -> list[str]:
 
 def _serve_section(run: RunData) -> list[str]:
     """Dedicated serving SLO view: TTFT / TPOT / end-to-end latency /
-    queue depth / batch occupancy quantiles, per-tenant throughput,
-    and any ``serve_load_point`` sweep rows the load generator
-    recorded."""
+    queue depth / batch occupancy quantiles, per-tenant throughput and
+    speculative accept lengths, campaign fallback counters, and any
+    ``serve_load_point`` sweep rows the load generator recorded."""
     histograms = run.metrics.histograms
     counters = run.metrics.counters
     slo_names = [
@@ -200,8 +200,14 @@ def _serve_section(run: RunData) -> list[str]:
         for name in counters
         if name.startswith("serve.tenant.") and name.endswith(".tokens")
     )
+    fallbacks = sorted(
+        name
+        for name in counters
+        if name.startswith("serve.campaign_fallback.")
+    )
     load_points = run.of_kind("serve_load_point")
-    if not slo_names and not tenant_tokens and not load_points:
+    if not slo_names and not tenant_tokens and not fallbacks \
+            and not load_points:
         return []
     lines = ["", "== serving SLOs =="]
     if slo_names:
@@ -223,19 +229,53 @@ def _serve_section(run: RunData) -> list[str]:
             ["instrument", "count", "mean", "p50", "p95", "p99", "max"], rows
         )
     if tenant_tokens:
+        # Per-tenant speculative accept lengths (recorded by the
+        # server's draft-and-verify rounds) sit next to throughput so
+        # accept-rate collapse under mixed traffic is visible per
+        # tenant, not just in the global decode histogram.
+        any_accept = any(
+            f"serve.tenant.{n[len('serve.tenant.'):-len('.tokens')]}"
+            f".spec_accept_len" in histograms
+            for n in tenant_tokens
+        )
         rows = []
         for name in tenant_tokens:
             tenant = name[len("serve.tenant.") : -len(".tokens")]
             requests = counters.get(f"serve.tenant.{tenant}.requests")
-            rows.append(
-                [
-                    tenant,
-                    _fmt(requests.value) if requests else "-",
-                    _fmt(counters[name].value),
-                ]
-            )
+            row = [
+                tenant,
+                _fmt(requests.value) if requests else "-",
+                _fmt(counters[name].value),
+            ]
+            if any_accept:
+                accept = histograms.get(
+                    f"serve.tenant.{tenant}.spec_accept_len"
+                )
+                if accept is not None and accept.summary()["count"] > 0:
+                    summary = accept.summary()
+                    row += [
+                        _fmt(summary["mean"]),
+                        _fmt(summary["p50"]),
+                        str(summary["count"]),
+                    ]
+                else:
+                    row += ["-", "-", "-"]
+            rows.append(row)
+        header = ["tenant", "requests", "tokens"]
+        if any_accept:
+            header += ["accept mean", "accept p50", "rounds"]
         lines += ["", "== serving tenants =="]
-        lines += _table(["tenant", "requests", "tokens"], rows)
+        lines += _table(header, rows)
+    if fallbacks:
+        rows = [
+            [
+                name[len("serve.campaign_fallback."):],
+                _fmt(counters[name].value),
+            ]
+            for name in fallbacks
+        ]
+        lines += ["", "== serving campaign fallbacks (served -> local) =="]
+        lines += _table(["reason", "count"], rows)
     if load_points:
         rows = [
             [

@@ -94,14 +94,18 @@ def equivalence_gate(
     prompts: list[PromptSpec],
     max_batch: int = 8,
     timeout_s: float = 300.0,
+    draft: "InferenceEngine | None" = None,
+    speculation_depth: int = 4,
 ) -> int:
     """Assert served outputs are token-identical to serial greedy decode.
 
     Serial references are computed first (the engine is idle), then
     every prompt is submitted to a fresh server *concurrently* — so the
     comparison exercises real mid-flight batching, not one-at-a-time
-    serving.  Raises ``AssertionError`` on the first divergence;
-    returns the number of prompts checked.
+    serving.  With a ``draft``, the server speculates, so the gate also
+    covers the composed batched-speculative rounds.  Raises
+    ``AssertionError`` on the first divergence; returns the number of
+    prompts checked.
     """
     references = [
         greedy_decode(
@@ -112,7 +116,10 @@ def equivalence_gate(
         )
         for spec in prompts
     ]
-    with InferenceServer(engine, config, max_batch=max_batch) as server:
+    with InferenceServer(
+        engine, config, max_batch=max_batch,
+        draft=draft, speculation_depth=speculation_depth,
+    ) as server:
         handles = [
             server.submit(list(spec.ids), max_new_tokens=spec.max_new)
             for spec in prompts

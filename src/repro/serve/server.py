@@ -22,6 +22,16 @@ long-running serving loop, the end-to-end setting the paper studies:
   in-flight caps, and smooth weighted round-robin dequeue across
   tenants (:class:`~repro.serve.admission.WeightedScheduler`), so a
   saturating tenant cannot starve a light one's TTFT.
+* **Speculative serving** — constructed with a same-tokenizer ``draft``
+  engine, the pump replaces the single-token step with a batched
+  draft-and-verify round (the
+  :class:`~repro.generation.spec_batched.BatchedSpeculativeDecoder`
+  schedule): the draft proposes up to ``speculation_depth`` tokens for
+  every decoding row while newly admitted prompts prefill in the same
+  scheduling round, the target verifies all proposals in grouped
+  chunked batched forwards, and ragged accept lengths retire/back-fill
+  rows at round granularity.  Emitted tokens remain argmaxes of target
+  logits, so streams stay token-identical to serial greedy decode.
 
 **Equivalence contract**: rows decode greedily via the same
 ``forward_step_batch`` the :class:`~repro.generation.batched.BatchedDecoder`
@@ -53,6 +63,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.generation.decode import GenerationConfig
+from repro.generation.spec_batched import _by_length
 from repro.inference.engine import InferenceEngine
 from repro.inference.kvcache import KVCache, PooledKVCache
 from repro.obs.runtime import telemetry as _telemetry
@@ -170,6 +181,10 @@ class _Request:
     position: int = 0
     iteration: int = 0
     last_token: int = -1
+    # Draft-side state (speculative serving only).
+    d_slot: int | None = None
+    d_caches: list[KVCache] | None = None
+    d_len: int = 0
     kv_fault: "object | None" = None
     """Optional :class:`~repro.fi.sites.FaultSite` (a KV fault model):
     armed against this request's pool slot at prefill, disarmed and
@@ -198,15 +213,39 @@ class InferenceServer:
         default_tenant: str = "default",
         pool: PooledKVCache | None = None,
         idle_wait_s: float = 0.05,
+        draft: InferenceEngine | None = None,
+        speculation_depth: int = 4,
+        draft_pool: PooledKVCache | None = None,
     ) -> None:
         if config.num_beams != 1:
             raise ValueError("the serving loop decodes greedily (num_beams=1)")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if draft is not None:
+            if speculation_depth < 1:
+                raise ValueError("speculation_depth must be >= 1")
+            if draft.config.vocab_size != engine.config.vocab_size:
+                raise ValueError(
+                    "draft/target vocabulary mismatch:"
+                    f" draft has {draft.config.vocab_size} tokens,"
+                    f" target has {engine.config.vocab_size};"
+                    " speculative serving needs a same-tokenizer pair"
+                )
         self.engine = engine
         self.config = config
         self.pool = pool if pool is not None else engine.new_pool(max_batch)
         self.max_batch = min(max_batch, self.pool.n_slots)
+        self.draft = draft
+        self.speculation_depth = speculation_depth
+        self.draft_pool = (
+            None
+            if draft is None
+            else (
+                draft_pool
+                if draft_pool is not None
+                else draft.new_pool(self.max_batch)
+            )
+        )
         self.default_tenant = default_tenant
         self._sched = WeightedScheduler()
         for tenant in tenants:
@@ -479,10 +518,21 @@ class InferenceServer:
             self._finish(request, "length")
             return
         request.last_token = token
+        if self.draft is not None:
+            # The draft side joins only once the row survives to a real
+            # decode round — EOS-first and one-token budgets retired
+            # above without ever touching the draft pool.
+            request.d_slot = self.draft_pool.acquire()
+            request.d_caches = self.draft_pool.caches(request.d_slot)
+            self.draft.forward(
+                request.prompt, request.d_caches, start_pos=0, iteration=0
+            )
+            request.d_len = len(request.prompt)
         self._active.append(request)
 
     def _step(self) -> None:
-        """Advance every active row one token; retire eagerly."""
+        """Advance every active row one token (or, with a draft engine
+        attached, one speculative round); retire eagerly."""
         # Cancellations observed at step granularity: drop the row (and
         # its slot) before paying for its forward.
         still: list[_Request] = []
@@ -499,6 +549,9 @@ class InferenceServer:
             tel.metrics.histogram("serve.batch_occupancy").observe(
                 len(self._active)
             )
+        if self.draft is not None:
+            self._spec_round(tel)
+            return
         logits = self.engine.forward_step_batch(
             [r.last_token for r in self._active],
             [r.caches for r in self._active],
@@ -519,6 +572,138 @@ class InferenceServer:
                 self._finish(request, "length")
                 continue
             request.last_token = token
+            still.append(request)
+        self._active = still
+
+    def _spec_round(self, tel) -> None:
+        """One draft-and-verify round over every active row.
+
+        The same round schedule as
+        :class:`~repro.generation.spec_batched.BatchedSpeculativeDecoder`
+        — grouped draft catch-up chunks, batched proposal steps, one
+        target ``forward_chunk_batch`` per distinct chunk length, then
+        per-row commit/rollback — except tokens stream into the handles
+        as they commit and EOS / budget / cancellation retire rows at
+        round granularity.  Per-slot truncation on rollback fires the
+        cache watchers, so a request's pinned KV-fault injector restores
+        its bits and re-arms without disturbing sibling streams.
+
+        Every emitted token is an argmax of target logits over the true
+        emitted prefix, so served streams stay token-identical to serial
+        ``greedy_decode`` regardless of what the draft proposes.
+        """
+        engine, draft = self.engine, self.draft
+        eos = self.config.eos_id
+        active = self._active
+        traced = tel.active
+        depth = self.speculation_depth
+        # Budget rule per row: never propose past max_new (the verify
+        # chunk emits at most gamma + 1 tokens), so "length" lands
+        # exactly, never mid-chunk.
+        gammas = [
+            min(depth, r.max_new - len(r.handle.tokens) - 1) for r in active
+        ]
+        proposals: list[list[int]] = [[] for _ in active]
+        prop = [i for i, g in enumerate(gammas) if g > 0]
+        d_logits: dict[int, np.ndarray] = {}
+        if prop:
+            feeds = {
+                i: active[i].handle.tokens[
+                    active[i].d_len - len(active[i].prompt):
+                ]
+                for i in prop
+            }
+            for group in _by_length(prop, lambda i: len(feeds[i])):
+                logits = draft.forward_chunk_batch(
+                    [feeds[i] for i in group],
+                    [active[i].d_caches for i in group],
+                    [active[i].d_len for i in group],
+                    [len(active[i].handle.tokens) for i in group],
+                )
+                for j, i in enumerate(group):
+                    d_logits[i] = logits[j][-1]
+                    active[i].d_len += len(feeds[i])
+            for step in range(max(gammas)):
+                alive = [i for i in prop if gammas[i] > step]
+                for i in alive:
+                    proposals[i].append(_pick(d_logits[i]))
+                feed = [i for i in alive if gammas[i] > step + 1]
+                if feed:
+                    logits = draft.forward_step_batch(
+                        [proposals[i][-1] for i in feed],
+                        [active[i].d_caches for i in feed],
+                        [active[i].d_len for i in feed],
+                        [
+                            len(active[i].handle.tokens) + step + 1
+                            for i in feed
+                        ],
+                    )
+                    for j, i in enumerate(feed):
+                        d_logits[i] = logits[j]
+                        active[i].d_len += 1
+        target_lens = [r.caches[0].length for r in active]
+        chunks = [
+            [active[i].last_token, *proposals[i]] for i in range(len(active))
+        ]
+        v_logits: dict[int, np.ndarray] = {}
+        for group in _by_length(
+            list(range(len(active))), lambda i: len(chunks[i])
+        ):
+            logits = engine.forward_chunk_batch(
+                [chunks[i] for i in group],
+                [active[i].caches for i in group],
+                [target_lens[i] for i in group],
+                [len(active[i].handle.tokens) for i in group],
+            )
+            for j, i in enumerate(group):
+                v_logits[i] = logits[j]
+        now = time.perf_counter()
+        still: list[_Request] = []
+        for i, request in enumerate(active):
+            chunk, logits = chunks[i], v_logits[i]
+            accepted = 0
+            stop = False
+            for j in range(len(chunk)):
+                token = _pick(logits[j])
+                if token == eos:
+                    stop = True
+                    break
+                request.handle._push(token, now)
+                if j < len(proposals[i]) and token == proposals[i][j]:
+                    accepted += 1
+                    continue
+                break
+            if traced:
+                metrics = tel.metrics
+                metrics.counter("decode.spec_rounds").add()
+                metrics.counter("decode.spec_rejected").add(
+                    gammas[i] - accepted
+                )
+                metrics.histogram("decode.spec_accept_len").observe(accepted)
+                metrics.histogram(
+                    f"serve.tenant.{request.tenant}.spec_accept_len"
+                ).observe(accepted)
+            # Commit the accepted prefix, roll back the rejects: the
+            # per-slot truncation fires KV-cache watchers (pinned fault
+            # injectors restore + re-arm) and leaves sibling slots
+            # untouched.
+            for cache in request.caches:
+                cache.truncate(target_lens[i] + 1 + accepted)
+            request.position = request.caches[0].length
+            request.iteration = len(request.handle.tokens)
+            if stop:
+                self._finish(request, "eos")
+                continue
+            if len(request.handle.tokens) >= request.max_new:
+                self._finish(request, "length")
+                continue
+            request.last_token = request.handle.tokens[-1]
+            keep = request.d_len - max(
+                0, (gammas[i] - 1) - min(accepted, gammas[i] - 1)
+            )
+            for cache in request.d_caches:
+                cache.truncate(keep)
+            request.d_len = keep
             still.append(request)
         self._active = still
 
@@ -543,6 +728,10 @@ class InferenceServer:
             self.pool.release(request.slot)
             request.slot = None
             request.caches = None
+        if request.d_slot is not None:
+            self.draft_pool.release(request.d_slot)
+            request.d_slot = None
+            request.d_caches = None
         now = time.perf_counter()
         handle = request.handle
         handle._finish(reason, now)

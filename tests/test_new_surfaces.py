@@ -590,6 +590,105 @@ class TestServerKVFaults:
                 campaign.attach_server(server, serve_faults=True)
 
 
+class TestPooledTruncationWatchers:
+    """Per-slot truncation on a pooled arena behaves exactly like a
+    private cache's: a pinned KV injector rolls back and re-arms when a
+    rejected speculation round truncates its slot past the strike, and
+    the restore touches nothing but that slot's arena row."""
+
+    def test_rejected_round_restores_and_rearms_without_disturbing_siblings(
+        self, untrained_engine
+    ):
+        prompt = [3, 5, 7, 9]
+        chunk = [1, 8, 2]  # pending token + two proposals
+        pool = untrained_engine.new_pool(2)
+        victim, sibling = pool.acquire(), pool.acquire()
+        v_caches = pool.caches(victim)
+        s_caches = pool.caches(sibling)
+        untrained_engine.forward(prompt, v_caches, start_pos=0, iteration=0)
+        untrained_engine.forward([2, 4, 6], s_caches, start_pos=0, iteration=0)
+        # Fault-free reference bits for the verify chunk's K/V writes
+        # into the struck block (block-0 K/V are computed pre-attention,
+        # so the faulted replay below writes identical bits + one flip).
+        untrained_engine.forward(
+            chunk, v_caches, start_pos=len(prompt), iteration=1
+        )
+        ref_k = v_caches[0].k.copy()
+        ref_v = v_caches[0].v.copy()
+        for cache in v_caches:
+            cache.truncate(len(prompt))
+        sib = [(c.k.copy(), c.v.copy()) for c in s_caches]
+        site = _kv_site(bits=(30,), iteration=1, row_frac=0.9)
+        with KVFaultInjector(untrained_engine, site, caches=v_caches) as inj:
+            untrained_engine.forward(
+                chunk, v_caches, start_pos=len(prompt), iteration=1
+            )
+            assert inj.fired
+            assert not np.array_equal(v_caches[0].v, ref_v)  # bits flipped
+            # The round rejects everything: per-slot truncation — exactly
+            # what BatchedSpeculativeDecoder's rollback does — fires the
+            # slot views' watchers.
+            for cache in v_caches:
+                cache.truncate(len(prompt))
+            assert not inj.fired  # rolled back + re-armed
+            np.testing.assert_array_equal(v_caches[0].k, ref_k)
+            np.testing.assert_array_equal(v_caches[0].v, ref_v)
+            # Sibling arena rows saw neither the strike nor the restore.
+            for cache, (k, v) in zip(s_caches, sib):
+                np.testing.assert_array_equal(cache.k, k)
+                np.testing.assert_array_equal(cache.v, v)
+            # The next round re-fires on the surviving prefix.
+            untrained_engine.forward(
+                chunk[:2], v_caches, start_pos=len(prompt), iteration=2
+            )
+            assert inj.fired
+        assert untrained_engine.kv_fault is None
+        assert all(c.watchers == () for c in v_caches)
+
+    def test_served_speculation_stream_isolation(
+        self, untrained_engine, tokenizer
+    ):
+        """A KV fault pinned to one stream of a *speculative* server:
+        rejected rounds truncate the victim's pooled slots mid-flight,
+        sibling streams stay bit-identical to the fault-free run, and
+        the recycled slots come back clean."""
+        draft_config = ModelConfig(
+            vocab_size=untrained_engine.config.vocab_size, d_model=16,
+            n_heads=2, n_blocks=1, d_ff=24, max_seq=160,
+        )
+        draft = InferenceEngine(TransformerLM(draft_config, seed=23).to_store())
+        config = GenerationConfig(max_new_tokens=8, eos_id=-1)
+        prompts = [[3, 5, 7], [11, 13, 17, 19], [23, 29, 4]]
+        fault = _kv_site(bits=(30,), iteration=0, row_frac=0.2)
+        with InferenceServer(
+            untrained_engine, config, max_batch=3,
+            draft=draft, speculation_depth=3,
+        ) as server:
+            baseline = [
+                h.result(timeout=60)
+                for h in [server.submit(p) for p in prompts]
+            ]
+            # Speculative serving is exact before any fault shows up.
+            assert baseline == [
+                greedy_decode(untrained_engine, p, config) for p in prompts
+            ]
+            victim = server.submit(prompts[0], kv_fault=fault)
+            others = [server.submit(p) for p in prompts[1:]]
+            victim_tokens = victim.result(timeout=60)
+            assert victim.kv_fired  # iteration-0 fault strikes at prefill
+            for handle, clean in zip(others, baseline[1:]):
+                assert handle.result(timeout=60) == clean
+                assert not handle.kv_fired
+            # Engine and recycled slots (both pools) are pristine again.
+            rerun = [
+                h.result(timeout=60)
+                for h in [server.submit(p) for p in prompts]
+            ]
+            assert rerun == baseline
+            assert untrained_engine.kv_fault is None
+        assert len(victim_tokens) > 0
+
+
 # ----------------------------------------------------------------------------
 # Differential acceptance: serial vs pooled vs resumed, per model.
 # ----------------------------------------------------------------------------

@@ -29,6 +29,8 @@ from repro.generation import (
     SpeculativeDecoder,
     greedy_decode,
 )
+from repro.inference import InferenceEngine
+from repro.model import ModelConfig, TransformerLM
 from repro.obs import telemetry
 from repro.obs.export import read_run
 from repro.obs.report import render_report
@@ -63,6 +65,15 @@ def _config(**kw):
 
 def _stock(scheduler: WeightedScheduler, name: str, n: int) -> None:
     scheduler.get(name).queue.extend(object() for _ in range(n))
+
+
+def _draft_for(engine: InferenceEngine) -> InferenceEngine:
+    """A draft smaller than the target, sharing its vocabulary."""
+    config = ModelConfig(
+        vocab_size=engine.config.vocab_size, d_model=16, n_heads=2,
+        n_blocks=1, d_ff=24, max_seq=160,
+    )
+    return InferenceEngine(TransformerLM(config, seed=23).to_store())
 
 
 class TestWeightedScheduler:
@@ -285,6 +296,116 @@ class TestStreamTerminationEdges:
         assert server.pool.n_free == server.pool.n_slots
 
 
+class TestServedSpeculation:
+    """The composed fast path live: the pump speculates on decoding rows
+    while newly admitted prompts prefill in the same round.  Exactness
+    and the stream-termination edges must hold with a draft armed, and
+    every edge must leave *both* pools (target and draft) fully free."""
+
+    def _server(self, engine, config, **kw):
+        kw.setdefault("max_batch", 2)
+        kw.setdefault("speculation_depth", 4)
+        return InferenceServer(engine, config, draft=_draft_for(engine), **kw)
+
+    def _assert_slots_free(self, server):
+        assert server.pool.n_free == server.pool.n_slots
+        assert server.draft_pool.n_free == server.draft_pool.n_slots
+
+    def test_matches_serial_under_mid_flight_admission(self, untrained_engine):
+        config = _config(max_new_tokens=10)
+        serial = [
+            greedy_decode(untrained_engine, p, config, strategy="serial")
+            for p in PROMPTS
+        ]
+        # Six streams through two slots: refills join rounds mid-flight.
+        with self._server(untrained_engine, config) as server:
+            handles = [server.submit(p) for p in PROMPTS]
+            assert [h.result(timeout=60) for h in handles] == serial
+            self._assert_slots_free(server)
+
+    def test_eos_as_first_token(self, untrained_engine):
+        first = greedy_decode(
+            untrained_engine, PROMPTS[0], _config(max_new_tokens=1),
+            strategy="serial",
+        )[0]
+        config = _config(max_new_tokens=8, eos_id=first)
+        with self._server(untrained_engine, config) as server:
+            handle = server.submit(PROMPTS[0])
+            assert handle.result(timeout=60) == []
+            assert handle.finish_reason == "eos"
+            # EOS-first retires before the draft slot is ever acquired.
+            self._assert_slots_free(server)
+
+    def test_eos_mid_round(self, untrained_engine):
+        free = [
+            greedy_decode(
+                untrained_engine, p, _config(max_new_tokens=12),
+                strategy="serial",
+            )
+            for p in PROMPTS[:4]
+        ]
+        eos = free[0][4]  # lands inside a depth-4 round for stream 0
+        config = _config(max_new_tokens=12, eos_id=eos)
+        serial = [
+            greedy_decode(untrained_engine, p, config, strategy="serial")
+            for p in PROMPTS[:4]
+        ]
+        with self._server(untrained_engine, config) as server:
+            handles = [server.submit(p) for p in PROMPTS[:4]]
+            assert [h.result(timeout=60) for h in handles] == serial
+            self._assert_slots_free(server)
+
+    @pytest.mark.parametrize("max_new", (1, 2, 3, 5))
+    def test_budget_hit_mid_round(self, untrained_engine, max_new):
+        """Budgets that end a stream inside a verify chunk truncate to
+        exactly the serial output — "length" never lands mid-chunk."""
+        config = _config(max_new_tokens=max_new)
+        serial = [
+            greedy_decode(untrained_engine, p, config, strategy="serial")
+            for p in PROMPTS[:3]
+        ]
+        with self._server(untrained_engine, config) as server:
+            handles = [server.submit(p) for p in PROMPTS[:3]]
+            assert [h.result(timeout=60) for h in handles] == serial
+            for handle in handles:
+                assert handle.finish_reason in ("eos", "length")
+            self._assert_slots_free(server)
+
+    def test_cancel_while_speculating(self, untrained_engine):
+        config = _config(max_new_tokens=64)
+        with self._server(untrained_engine, config) as server:
+            handle = server.submit(PROMPTS[0], max_new_tokens=64)
+            stream = iter(handle)
+            next(stream)
+            next(stream)
+            handle.cancel()
+            handle.result(timeout=60)
+            assert handle.finish_reason == "cancelled"
+            # Cancellation lands at round granularity: tokens committed
+            # by the in-flight round drain, then the stream terminates.
+            assert 2 <= len(handle.tokens) < 64
+            assert list(stream) == handle.tokens[2:]
+            self._assert_slots_free(server)
+            follow_up = server.submit(PROMPTS[1])
+            assert follow_up.result(timeout=60)
+
+    def test_abandoned_stream(self, untrained_engine):
+        """A client that walks away without ever reading: the stream is
+        cancelled unread, the pump keeps serving, no slot leaks."""
+        config = _config(max_new_tokens=64)
+        with self._server(untrained_engine, config) as server:
+            abandoned = server.submit(PROMPTS[0], max_new_tokens=64)
+            live = server.submit(PROMPTS[1], max_new_tokens=8)
+            abandoned.cancel()
+            abandoned.result(timeout=60)
+            assert abandoned.finish_reason == "cancelled"
+            assert live.result(timeout=60) == greedy_decode(
+                untrained_engine, PROMPTS[1], _config(max_new_tokens=8),
+                strategy="serial",
+            )
+            self._assert_slots_free(server)
+
+
 class TestFairness:
     def test_two_tenant_weighted_share(self, untrained_engine):
         """Admission order converges to the configured 3:1 share while
@@ -419,6 +540,34 @@ class TestServeTelemetry:
         assert "== serving load sweep ==" in rendered
         assert "== serving tenants ==" in rendered
 
+    def test_per_tenant_accept_len_and_report(
+        self, untrained_engine, clean_telemetry, tmp_path
+    ):
+        """Accept-rate collapse under mixed traffic must be observable:
+        per-round accept lengths land in per-tenant histograms and the
+        tenant table grows accept columns."""
+        tel = clean_telemetry
+        out = tmp_path / "spec-serve.jsonl"
+        tel.enable(out)
+        config = _config(max_new_tokens=6)
+        with InferenceServer(
+            untrained_engine, config, max_batch=2,
+            draft=_draft_for(untrained_engine), speculation_depth=4,
+        ) as server:
+            for p in PROMPTS[:2]:
+                server.submit(p, tenant="alpha")
+            for p in PROMPTS[2:4]:
+                server.submit(p, tenant="beta")
+        for tenant in ("alpha", "beta"):
+            summary = tel.metrics.histogram(
+                f"serve.tenant.{tenant}.spec_accept_len"
+            ).summary()
+            assert summary["count"] > 0
+        tel.flush(command="test-spec-serve")
+        rendered = render_report(read_run(out))
+        assert "== serving tenants ==" in rendered
+        assert "accept mean" in rendered
+
 
 class TestLoadGenerator:
     def test_run_load_accounting(self, untrained_engine):
@@ -526,4 +675,70 @@ class TestCampaignAsTenant:
         campaign.attach_server(server)
         reference = self._campaign(untrained_engine, tokenizer, world)
         assert campaign.compute_baseline() == reference.compute_baseline()
+
+    def test_served_speculative_baseline(
+        self, untrained_engine, tokenizer, world, clean_telemetry
+    ):
+        """A speculative campaign on a draft-matched server serves its
+        baseline instead of falling back — the fix for the silent
+        local-serial degradation."""
+        draft = _draft_for(untrained_engine)
+        local = self._campaign(
+            untrained_engine, tokenizer, world,
+            draft_model=draft, speculation_depth=3,
+        )
+        expected = local.compute_baseline()
+        served = self._campaign(
+            untrained_engine, tokenizer, world,
+            draft_model=draft, speculation_depth=3,
+        )
+        server = InferenceServer(
+            untrained_engine, served.generation, max_batch=4,
+            draft=draft, speculation_depth=3,
+        ).start()
+        try:
+            served.attach_server(server, tenant="campaign")
+            tel = clean_telemetry
+            tel.enable()
+            assert served.compute_baseline() == expected
+            snap = tel.metrics.snapshot()
+            assert not any(
+                key.startswith("serve.campaign_fallback.")
+                for key in snap["counters"]
+            )
+            assert server.tenant_stats()["campaign"]["completed"] == 3
+        finally:
+            server.stop()
+
+    def test_fallback_counter_on_speculation_unsupported(
+        self, untrained_engine, tokenizer, world, clean_telemetry, tmp_path
+    ):
+        """A speculative campaign on a draft-less server falls back —
+        and the degradation is now counted and rendered, not silent."""
+        draft = _draft_for(untrained_engine)
+        campaign = self._campaign(
+            untrained_engine, tokenizer, world, draft_model=draft
+        )
+        server = InferenceServer(
+            untrained_engine, campaign.generation, max_batch=4
+        ).start()
+        out = tmp_path / "fallback.jsonl"
+        try:
+            campaign.attach_server(server)
+            tel = clean_telemetry
+            tel.enable(out)
+            reference = self._campaign(
+                untrained_engine, tokenizer, world, draft_model=draft
+            )
+            assert campaign.compute_baseline() == reference.compute_baseline()
+            fallback = tel.metrics.counter(
+                "serve.campaign_fallback.speculation_unsupported"
+            )
+            assert fallback.value == 1
+            tel.flush(command="test-fallback")
+        finally:
+            server.stop()
+        rendered = render_report(read_run(out))
+        assert "serving campaign fallbacks" in rendered
+        assert "speculation_unsupported" in rendered
         server.stop()
